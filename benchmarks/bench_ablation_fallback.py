@@ -1,0 +1,41 @@
+"""Ablation: hardware fallback policies for unsupported quartets.
+
+When unconstrained weights reach a reduced-alphabet ASM, the control logic
+must pick *some* supported quartet.  This bench compares the error the
+``nearest`` (midpoint rounding) and ``truncate`` (floor) policies inject
+across every weight value and alphabet set.
+"""
+
+from conftest import emit
+
+from repro.asm.alphabet import ALPHA_1, ALPHA_2, ALPHA_4
+from repro.asm.multiplier import AlphabetSetMultiplier
+from repro.hardware.report import format_table
+
+
+def test_ablation_fallback_policies(benchmark):
+    def profile_all():
+        profiles = {}
+        for bits in (8, 12):
+            for aset in (ALPHA_1, ALPHA_2, ALPHA_4):
+                for policy in ("nearest", "truncate"):
+                    m = AlphabetSetMultiplier(bits, aset, fallback=policy)
+                    profiles[(bits, str(aset), policy)] = m.error_profile()
+        return profiles
+
+    profiles = benchmark(profile_all)
+
+    rows = [[bits, aset, policy,
+             f"{p['mean_abs_error']:.2f}", f"{p['max_abs_error']:.0f}",
+             f"{p['fraction_exact']:.3f}"]
+            for (bits, aset, policy), p in sorted(profiles.items())]
+    emit("ablation_fallback", format_table(
+        ["Bits", "Alphabet set", "Policy", "mean |err|", "max |err|",
+         "exact frac"],
+        rows, title="Ablation - fallback policies on unconstrained weights"))
+
+    for bits in (8, 12):
+        for aset in ("{1}", "{1,3}", "{1,3,5,7}"):
+            near = profiles[(bits, aset, "nearest")]
+            trunc = profiles[(bits, aset, "truncate")]
+            assert near["mean_abs_error"] <= trunc["mean_abs_error"] + 1e-9

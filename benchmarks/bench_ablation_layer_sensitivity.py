@@ -1,0 +1,46 @@
+"""Ablation: per-layer sensitivity to ASM approximation (§VI.E's premise).
+
+Approximates each layer of a trained network in isolation and measures the
+accuracy drop — the evidence behind the paper's mixed-alphabet plans
+(spend alphabets on the layers that hurt the most when approximated).
+"""
+
+from conftest import TINY, emit
+
+from repro.analysis.sensitivity import layer_sensitivity
+from repro.asm.alphabet import ALPHA_1
+from repro.datasets import build_model, load_dataset
+from repro.hardware.report import format_table
+from repro.nn.optim import SGD
+from repro.nn.trainer import Trainer
+
+
+def _train():
+    data = load_dataset("tich", n_train=TINY.n_train, n_test=TINY.n_test,
+                        seed=0)
+    model = build_model("tich", seed=1)
+    trainer = Trainer(model, SGD(model, 0.05), batch_size=32, patience=2)
+    trainer.fit(data.flat_train, data.y_train_onehot, data.flat_test,
+                data.y_test, max_epochs=TINY.max_epochs)
+    return model, data
+
+
+def test_ablation_layer_sensitivity(benchmark):
+    model, data = _train()
+    results = benchmark.pedantic(
+        lambda: layer_sensitivity(model, data.flat_test, data.y_test,
+                                  bits=8, alphabet_set=ALPHA_1),
+        rounds=1, iterations=1)
+
+    rows = [[entry.layer_index, entry.layer_name,
+             f"{entry.accuracy * 100:.2f}", f"{entry.drop * 100:.2f}"]
+            for entry in results]
+    emit("ablation_layer_sensitivity", format_table(
+        ["Layer #", "Layer", "Accuracy (%)", "Drop (%)"],
+        rows,
+        title="Ablation - per-layer MAN sensitivity (TICH, no retraining)"))
+
+    assert len(results) == 5   # the 5-layer TICH MLP
+    # approximating a single layer never destroys the network outright
+    for entry in results:
+        assert entry.accuracy > 0.05

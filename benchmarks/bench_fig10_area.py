@@ -1,0 +1,20 @@
+"""Fig. 10: normalised neuron area at iso-speed (8- and 12-bit)."""
+
+from conftest import emit
+
+from repro.experiments.power_area import format_hardware_table, run_figure10
+
+
+def test_fig10_area(benchmark):
+    rows = benchmark(run_figure10)
+    emit("fig10", format_hardware_table(
+        rows, "Fig 10 - normalized neuron area @ iso-speed"))
+
+    by_key = {(r.bits, r.num_alphabets): r.normalized for r in rows}
+    # paper's headline: ~37% (8b) and ~62% (12b) MAN area reduction
+    assert 0.25 <= 1 - by_key[(8, 1)] <= 0.45
+    assert 0.52 <= 1 - by_key[(12, 1)] <= 0.72
+    # the key scaling claim: 12-bit savings exceed 8-bit savings
+    assert by_key[(12, 1)] < by_key[(8, 1)]
+    for bits in (8, 12):
+        assert by_key[(bits, 1)] < by_key[(bits, 2)] < by_key[(bits, 4)] <= 1.05

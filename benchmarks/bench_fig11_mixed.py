@@ -1,0 +1,24 @@
+"""Fig. 11: mixed-alphabet networks — accuracy and energy together."""
+
+from conftest import emit
+
+from repro.experiments.mixed import format_figure11_table, run_figure11_app
+
+
+def test_fig11_mixed_mnist(benchmark):
+    rows = benchmark.pedantic(lambda: run_figure11_app("mnist_mlp"),
+                              rounds=1, iterations=1)
+    emit("fig11", format_figure11_table(
+        {"mnist_mlp": rows},
+        "Fig 11 - mixed-alphabet accuracy and energy (tiny budget)"))
+
+    by_label = {row.deployment: row for row in rows}
+    assert set(by_label) == {"conventional", "all {1}", "mixed"}
+    conv, man, mixed = (by_label["conventional"], by_label["all {1}"],
+                        by_label["mixed"])
+    # energy: man < mixed << conventional; the mixed overhead is tiny
+    assert man.energy_nj < mixed.energy_nj < conv.energy_nj
+    assert mixed.energy_nj / man.energy_nj < 1.05
+    # accuracy: mixed recovers to within noise of the conventional baseline
+    assert mixed.accuracy >= man.accuracy - 0.05
+    assert mixed.accuracy >= conv.accuracy - 0.10

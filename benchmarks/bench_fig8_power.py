@@ -1,0 +1,19 @@
+"""Fig. 8: normalised neuron power at iso-speed (8- and 12-bit)."""
+
+from conftest import emit
+
+from repro.experiments.power_area import format_hardware_table, run_figure8
+
+
+def test_fig8_power(benchmark):
+    rows = benchmark(run_figure8)
+    emit("fig8", format_hardware_table(
+        rows, "Fig 8 - normalized neuron power @ iso-speed"))
+
+    by_key = {(r.bits, r.num_alphabets): r.normalized for r in rows}
+    # paper's headline: ~35% (8b) and ~60% (12b) MAN power reduction
+    assert 0.25 <= 1 - by_key[(8, 1)] <= 0.45
+    assert 0.45 <= 1 - by_key[(12, 1)] <= 0.70
+    # monotone in alphabet count at both widths
+    for bits in (8, 12):
+        assert by_key[(bits, 1)] < by_key[(bits, 2)] < by_key[(bits, 4)] <= 1.0

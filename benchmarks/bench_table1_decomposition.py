@@ -1,0 +1,21 @@
+"""Table I: decomposition of multiplication into select/shift/add terms."""
+
+from conftest import emit
+
+from repro.asm.alphabet import FULL_ALPHABETS
+from repro.asm.decompose import decompose_magnitude
+from repro.experiments.tables import format_table1
+from repro.fixedpoint.quartet import LAYOUT_8BIT
+
+
+def test_table1_decomposition(benchmark):
+    """Benchmark the decomposition kernel over every 8-bit magnitude and
+    print the paper's Table I rows."""
+
+    def decompose_all():
+        return [decompose_magnitude(w, LAYOUT_8BIT, FULL_ALPHABETS)
+                for w in range(128)]
+
+    terms = benchmark(decompose_all)
+    assert len(terms) == 128
+    emit("table1", format_table1())

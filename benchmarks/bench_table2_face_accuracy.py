@@ -1,0 +1,17 @@
+"""Table II: face-detection accuracy across alphabet counts (12-bit)."""
+
+from conftest import TINY, emit
+
+from repro.experiments.accuracy import format_accuracy_table, run_accuracy_grid
+
+
+def test_table2_face_accuracy(benchmark):
+    grid = benchmark.pedantic(
+        lambda: run_accuracy_grid("face", budget_override=TINY),
+        rounds=1, iterations=1)
+    emit("table2", format_accuracy_table(
+        grid, "Table II - NN accuracy, face detection (tiny budget)"))
+    # paper shape: conventional row first, losses small on this easy task
+    assert grid.baseline.num_alphabets is None
+    assert grid.baseline.accuracy > 0.7
+    assert grid.max_loss < 0.15

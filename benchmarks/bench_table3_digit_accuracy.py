@@ -1,0 +1,16 @@
+"""Table III: MNIST digit-recognition accuracy across alphabet counts."""
+
+from conftest import TINY, emit
+
+from repro.experiments.accuracy import format_accuracy_table, run_accuracy_grid
+
+
+def test_table3_digit_accuracy(benchmark):
+    grid = benchmark.pedantic(
+        lambda: run_accuracy_grid("mnist_mlp", budget_override=TINY),
+        rounds=1, iterations=1)
+    emit("table3", format_accuracy_table(
+        grid, "Table III - digit recognition, 8-bit MLP (tiny budget)"))
+    assert grid.baseline.accuracy > 0.6
+    # retrained ASM rows stay close to the conventional baseline
+    assert grid.max_loss < 0.15

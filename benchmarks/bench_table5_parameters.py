@@ -1,0 +1,21 @@
+"""Table V: experimental parameters (feature size, iso-speed clocks)."""
+
+from conftest import emit
+
+from repro.experiments.tables import format_table5, table5_rows
+from repro.hardware.neuron import make_neuron
+
+
+def test_table5_parameters(benchmark):
+    """Verify the Table V conditions by building every design at the paper
+    clocks (the construction is what the benchmark times)."""
+
+    def build_all():
+        return [make_neuron(bits) for bits in (8, 12)]
+
+    designs = benchmark(build_all)
+    emit("table5", format_table5())
+    assert designs[0].clock_ghz == 3.0
+    assert designs[1].clock_ghz == 2.5
+    rows = dict(table5_rows())
+    assert rows["Feature Size"] == "45nm"

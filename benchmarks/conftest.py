@@ -1,0 +1,34 @@
+"""Shared helpers for the benchmark suite.
+
+Training-backed benches run a *tiny* budget so the whole suite finishes in
+minutes; the printed tables are the same rows the paper reports (regenerate
+the paper-scale numbers with ``python -m repro.experiments.runner --full``).
+Each bench writes its table to ``results/`` and prints it, so running with
+``pytest benchmarks/ --benchmark-only -s`` shows every reproduced row.
+"""
+
+import os
+
+import pytest
+
+from repro.experiments.config import Budget
+
+#: Budget used by training-backed benches.
+TINY = Budget("tiny", n_train=400, n_test=200, max_epochs=5,
+              retrain_epochs=3)
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "..", "results")
+
+
+def emit(name: str, text: str) -> None:
+    """Print a reproduced table and persist it under results/."""
+    print()
+    print(text)
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    with open(os.path.join(RESULTS_DIR, f"{name}.txt"), "w") as handle:
+        handle.write(text + "\n")
+
+
+@pytest.fixture
+def tiny_budget():
+    return TINY

@@ -1,0 +1,49 @@
+"""Mixed-alphabet networks (§VI.E / Fig. 11).
+
+Large early layers use the 1-alphabet MAN; the small concluding layers use
+2/4-alphabet ASMs.  The example retrains the SVHN-style 6-layer MLP under
+the three deployments and reports accuracy, energy, and the share of
+processing cycles the upgraded layers account for (paper: ~3.84%).
+
+Run:  python examples/mixed_alphabet.py [--app svhn|tich|mnist_mlp]
+"""
+
+import argparse
+
+from repro.asm.alphabet import ALPHA_1
+from repro.datasets import build_model
+from repro.experiments.mixed import run_figure11_app
+from repro.hardware.engine import ProcessingEngine
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--app", default="svhn",
+                        choices=["svhn", "tich", "mnist_mlp"])
+    parser.add_argument("--full", action="store_true")
+    args = parser.parse_args()
+
+    topology = build_model(args.app).topology()
+    engine = ProcessingEngine(8, ALPHA_1)
+    report = engine.run(topology)
+    tail = 2 if args.app in ("svhn", "tich") else 1
+    share = report.layer_cycle_fraction(tail)
+    print(f"{args.app}: last {tail} layer(s) use {share * 100:.2f}% of "
+          f"processing cycles (paper quotes 3.84% for SVHN)\n")
+
+    rows = run_figure11_app(args.app, full=args.full, seed=0)
+    print(f"{'deployment':15s} {'accuracy':>9s} {'energy (nJ)':>12s} "
+          f"{'vs conv':>8s}")
+    for row in rows:
+        print(f"{row.deployment:15s} {row.accuracy * 100:8.2f}% "
+              f"{row.energy_nj:12.1f} {row.normalized_energy:8.3f}")
+
+    man = next(r for r in rows if r.deployment == "all {1}")
+    mixed = next(r for r in rows if r.deployment == "mixed")
+    print(f"\nmixed vs all-{{1}}: {(mixed.accuracy - man.accuracy) * 100:+.2f}"
+          f" accuracy points for "
+          f"{(mixed.energy_nj / man.energy_nj - 1) * 100:+.2f}% energy")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+Kept so that ``pip install -e .`` works on environments whose pip/setuptools
+lack PEP 660 editable-wheel support (no ``wheel`` package installed); all
+project metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

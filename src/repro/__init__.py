@@ -1,0 +1,30 @@
+"""repro — Multiplier-less Artificial Neurons (DATE 2016) reproduction.
+
+A production-quality Python reproduction of "Multiplier-less Artificial
+Neurons Exploiting Error Resiliency for Energy-Efficient Neural Computing"
+(Sarwar, Venkataramani, Raghunathan, Roy — DATE 2016).
+
+Subpackages
+-----------
+``repro.fixedpoint``
+    Two's-complement words, Q-format quantisation, quartet layouts.
+``repro.asm``
+    Alphabet Set Multiplier: alphabet sets, decomposition, bit-accurate
+    multiplier models, Algorithm-1 weight constraining, MAN programs.
+``repro.hardware``
+    45 nm-class gate-level cost model: components, neuron datapaths,
+    CSHM processing engine, iso-speed sizing.
+``repro.nn``
+    numpy MLP/CNN substrate with backprop and quantised/ASM inference.
+``repro.datasets``
+    Seeded synthetic stand-ins for MNIST, YUV Faces, SVHN and TICH.
+``repro.training``
+    Constrained retraining (projected SGD), Algorithm-2 methodology,
+    mixed per-layer alphabet plans (§VI.E).
+``repro.experiments``
+    Drivers reproducing every table and figure of the paper.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

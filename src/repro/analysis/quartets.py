@@ -1,0 +1,96 @@
+"""Quartet-usage analysis and data-driven alphabet selection.
+
+The paper fixes its alphabet ladder to {1}, {1,3}, {1,3,5,7} a priori.
+These tools measure which quartet values a *trained* network actually uses
+and select the alphabet set that covers the observed distribution best —
+a data-driven extension of the paper's design flow.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+
+import numpy as np
+
+from repro.asm.alphabet import AlphabetSet
+from repro.fixedpoint.qformat import qformat_for_range
+from repro.fixedpoint.quartet import QuartetLayout
+
+__all__ = ["QuartetUsage", "quartet_usage", "weighted_coverage",
+           "select_alphabets"]
+
+_ODD_ALPHABETS = (1, 3, 5, 7, 9, 11, 13, 15)
+
+
+@dataclass(frozen=True)
+class QuartetUsage:
+    """Histogram of quartet values across a weight tensor."""
+
+    counts: tuple[int, ...]        # index = quartet value 0..15
+    num_weights: int
+    num_quartets: int
+
+    @property
+    def frequencies(self) -> np.ndarray:
+        total = max(1, sum(self.counts))
+        return np.asarray(self.counts, dtype=np.float64) / total
+
+    def supported_fraction(self, alphabet_set: AlphabetSet) -> float:
+        """Fraction of observed quartets the set can generate exactly."""
+        supported = alphabet_set.supported_values(4)
+        hit = sum(count for value, count in enumerate(self.counts)
+                  if value in supported)
+        return hit / max(1, sum(self.counts))
+
+
+def quartet_usage(weights: np.ndarray, bits: int) -> QuartetUsage:
+    """Quantise float *weights* to *bits* and histogram their quartets.
+
+    The MSB (sign-carrying) quartet is histogrammed over its narrower
+    range; all quartet positions are pooled, matching how a single shared
+    alphabet set serves every quartet lane.
+    """
+    layout = QuartetLayout(bits)
+    weights = np.asarray(weights, dtype=np.float64).ravel()
+    max_abs = float(np.max(np.abs(weights))) if weights.size else 1.0
+    fmt = qformat_for_range(bits, max(max_abs, 1e-12))
+    magnitudes = np.abs(fmt.quantize_array(weights))
+    magnitudes = np.minimum(magnitudes, layout.max_magnitude)
+    counts = [0] * 16
+    for magnitude in magnitudes:
+        for value in layout.split(int(magnitude)):
+            counts[value] += 1
+    return QuartetUsage(counts=tuple(counts), num_weights=weights.size,
+                        num_quartets=layout.num_quartets)
+
+
+def weighted_coverage(usage: QuartetUsage,
+                      alphabet_set: AlphabetSet) -> float:
+    """Usage-weighted coverage: probability a random observed quartet is
+    exactly representable under *alphabet_set*."""
+    return usage.supported_fraction(alphabet_set)
+
+
+def select_alphabets(usage: QuartetUsage, k: int) -> AlphabetSet:
+    """Best *k*-alphabet set for the observed quartet distribution.
+
+    Exhaustive over the 8-choose-k odd candidates (at most 70 sets) —
+    exact, not greedy.
+
+    >>> u = QuartetUsage(counts=(4, 4, 2, 0, 1, 8, 0, 0, 1, 0, 2, 0, 0,
+    ...                          0, 0, 0), num_weights=11, num_quartets=2)
+    >>> str(select_alphabets(u, 2))   # 5s and 10s dominate -> pick 5
+    '{1,5}'
+    """
+    if not 1 <= k <= len(_ODD_ALPHABETS):
+        raise ValueError(f"k must be in [1, 8], got {k}")
+    best_set = None
+    best_score = -1.0
+    for combo in combinations(_ODD_ALPHABETS, k):
+        candidate = AlphabetSet(combo)
+        score = weighted_coverage(usage, candidate)
+        if score > best_score:
+            best_score = score
+            best_set = candidate
+    return best_set

@@ -1,0 +1,143 @@
+"""Decomposition of weights into alphabet-select / shift / add terms.
+
+This is the control-logic view of the ASM: given a weight magnitude and an
+alphabet set, emit one ``(alphabet, shift)`` term per non-zero quartet.  The
+product is then::
+
+    W * I = sign(W) * sum over quartets i of  alphabet_i * 2**shift_i * I
+
+where ``shift_i`` folds together the in-quartet shift and the quartet's bit
+position.  Table I of the paper is reproduced by
+:func:`format_decomposition`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.asm.alphabet import AlphabetSet
+from repro.fixedpoint.quartet import QuartetLayout
+
+__all__ = [
+    "UnsupportedQuartetError",
+    "QuartetTerm",
+    "decompose_quartet",
+    "decompose_magnitude",
+    "reconstruct",
+    "format_decomposition",
+]
+
+
+class UnsupportedQuartetError(ValueError):
+    """A quartet value cannot be generated from the available alphabets."""
+
+    def __init__(self, value: int, alphabet_set: AlphabetSet) -> None:
+        super().__init__(
+            f"quartet value {value} is not supported by alphabet set "
+            f"{alphabet_set}"
+        )
+        self.value = value
+        self.alphabet_set = alphabet_set
+
+
+@dataclass(frozen=True)
+class QuartetTerm:
+    """One shift/add term: contributes ``alphabet * 2**shift * I``.
+
+    ``quartet_index`` records which quartet (LSB-first) produced the term;
+    ``shift`` already includes the quartet's bit offset.
+    """
+
+    quartet_index: int
+    alphabet: int
+    shift: int
+
+    @property
+    def value(self) -> int:
+        """The integer weight contribution ``alphabet * 2**shift``."""
+        return self.alphabet << self.shift
+
+
+def decompose_quartet(value: int, alphabet_set: AlphabetSet,
+                      width: int = 4) -> tuple[int, int] | None:
+    """Express quartet *value* as ``(alphabet, shift)``.
+
+    Returns ``None`` for ``value == 0`` (nothing to add) and raises
+    :class:`UnsupportedQuartetError` when the set cannot generate *value*.
+
+    The decomposition is unique: strip trailing zero bits, the remaining odd
+    factor must itself be an alphabet.
+
+    >>> from repro.asm.alphabet import ALPHA_4
+    >>> decompose_quartet(10, ALPHA_4)
+    (5, 1)
+    >>> decompose_quartet(4, ALPHA_4)
+    (1, 2)
+    """
+    if not 0 <= value < (1 << width):
+        raise ValueError(f"{value} is not a {width}-bit quartet value")
+    if value == 0:
+        return None
+    shift = 0
+    odd = value
+    while odd % 2 == 0:
+        odd >>= 1
+        shift += 1
+    if odd not in alphabet_set:
+        raise UnsupportedQuartetError(value, alphabet_set)
+    return odd, shift
+
+
+def decompose_magnitude(magnitude: int, layout: QuartetLayout,
+                        alphabet_set: AlphabetSet) -> list[QuartetTerm]:
+    """Decompose a weight *magnitude* into shift/add terms, LSB-first.
+
+    Every quartet must be supported; constrain the weight first
+    (:mod:`repro.asm.constraints`) if it may contain unsupported quartets.
+
+    >>> from repro.asm.alphabet import FULL_ALPHABETS
+    >>> from repro.fixedpoint.quartet import LAYOUT_8BIT
+    >>> terms = decompose_magnitude(105, LAYOUT_8BIT, FULL_ALPHABETS)
+    >>> [(t.alphabet, t.shift) for t in terms]
+    [(9, 0), (3, 5)]
+    """
+    terms = []
+    for index, value in enumerate(layout.split(magnitude)):
+        pair = decompose_quartet(value, alphabet_set,
+                                 width=layout.quartet_widths[index])
+        if pair is None:
+            continue
+        alphabet, local_shift = pair
+        terms.append(QuartetTerm(
+            quartet_index=index,
+            alphabet=alphabet,
+            shift=local_shift + layout.shift_of(index),
+        ))
+    return terms
+
+
+def reconstruct(terms: list[QuartetTerm]) -> int:
+    """Sum the terms back into the weight magnitude they encode."""
+    return sum(term.value for term in terms)
+
+
+def format_decomposition(weight: int, layout: QuartetLayout,
+                         alphabet_set: AlphabetSet,
+                         symbol: str = "I") -> str:
+    """Render a decomposition in the style of the paper's Table I.
+
+    >>> from repro.asm.alphabet import FULL_ALPHABETS
+    >>> from repro.fixedpoint.quartet import LAYOUT_8BIT
+    >>> format_decomposition(105, LAYOUT_8BIT, FULL_ALPHABETS)
+    'W x I = 2^5.(0011).I + 2^0.(1001).I'
+    """
+    if weight < 0:
+        raise ValueError("format_decomposition expects a non-negative weight")
+    terms = decompose_magnitude(weight, layout, alphabet_set)
+    if not terms:
+        return f"W x {symbol} = 0"
+    parts = []
+    for term in sorted(terms, key=lambda t: -t.shift):
+        alpha_bits = format(term.alphabet, "04b")  # alphabets are unsigned
+        parts.append(f"2^{term.shift}.({alpha_bits}).{symbol}")
+    return f"W x {symbol} = " + " + ".join(parts)

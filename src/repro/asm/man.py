@@ -1,0 +1,132 @@
+"""Shift-add programs and the Multiplier-less Artificial Neuron (MAN).
+
+With the single alphabet ``{1}`` the ASM needs no pre-computer bank and no
+select network: every supported quartet is a power of two, so a weight is a
+sum of shifted copies of the input.  This module compiles constrained weights
+into explicit :class:`ShiftAddProgram` objects — the exact sequence of shift
+and add operations the MAN datapath performs — and exposes the operation
+counts the hardware model uses.
+
+Programs generalise to any alphabet set (each term is then
+``alphabet * 2**shift``), so the same machinery reports add/shift counts for
+2- and 4-alphabet ASMs too.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.asm.alphabet import ALPHA_1, AlphabetSet
+from repro.asm.decompose import QuartetTerm, decompose_magnitude
+from repro.fixedpoint.quartet import QuartetLayout
+
+__all__ = ["ShiftAddProgram", "compile_weight", "man_program", "MANMultiplier"]
+
+
+@dataclass(frozen=True)
+class ShiftAddProgram:
+    """A compiled multiply-by-constant: ``sign * sum(a_k * (x << s_k))``."""
+
+    weight: int
+    terms: tuple[QuartetTerm, ...]
+    sign: int
+
+    @property
+    def num_terms(self) -> int:
+        return len(self.terms)
+
+    @property
+    def num_adds(self) -> int:
+        """Two-input additions needed to sum the terms (``terms - 1``)."""
+        return max(0, len(self.terms) - 1)
+
+    @property
+    def num_shifts(self) -> int:
+        """Non-trivial shifts (shift amount > 0)."""
+        return sum(1 for t in self.terms if t.shift > 0)
+
+    @property
+    def uses_only_input(self) -> bool:
+        """True when every term selects alphabet 1 (pure MAN program)."""
+        return all(t.alphabet == 1 for t in self.terms)
+
+    def apply(self, operand: int) -> int:
+        """Execute the program on *operand*; equals ``weight * operand``."""
+        total = 0
+        for term in self.terms:
+            total += (term.alphabet * operand) << term.shift
+        return self.sign * total
+
+    def __str__(self) -> str:
+        if not self.terms:
+            return "0"
+        parts = []
+        for term in sorted(self.terms, key=lambda t: -t.shift):
+            base = "x" if term.alphabet == 1 else f"{term.alphabet}x"
+            parts.append(base if term.shift == 0 else f"({base} << {term.shift})")
+        body = " + ".join(parts)
+        return f"-({body})" if self.sign < 0 else body
+
+
+def compile_weight(weight: int, layout: QuartetLayout,
+                   alphabet_set: AlphabetSet) -> ShiftAddProgram:
+    """Compile a constrained signed *weight* into a shift-add program.
+
+    Raises :class:`repro.asm.decompose.UnsupportedQuartetError` if the weight
+    is not on the supported grid — compile only constrained weights.
+
+    >>> from repro.fixedpoint.quartet import LAYOUT_8BIT
+    >>> str(compile_weight(68, LAYOUT_8BIT, ALPHA_1))
+    '(x << 6) + (x << 2)'
+    """
+    magnitude = min(abs(weight), layout.max_magnitude)
+    terms = tuple(decompose_magnitude(magnitude, layout, alphabet_set))
+    return ShiftAddProgram(weight=weight, terms=terms,
+                           sign=-1 if weight < 0 else 1)
+
+
+def man_program(weight: int, layout: QuartetLayout) -> ShiftAddProgram:
+    """Compile *weight* for the 1-alphabet MAN datapath.
+
+    The weight must be MAN-representable (every quartet a power of two or
+    zero); constrain it with
+    :class:`repro.asm.constraints.WeightConstrainer` first.
+    """
+    program = compile_weight(weight, layout, ALPHA_1)
+    assert program.uses_only_input
+    return program
+
+
+class MANMultiplier:
+    """Convenience facade: the 1-alphabet ASM as a standalone multiplier.
+
+    Identical to ``AlphabetSetMultiplier(bits, ALPHA_1, fallback)`` but
+    documents intent at call sites and exposes shift-add program compilation.
+    """
+
+    def __init__(self, bits: int, fallback: str = "error") -> None:
+        # Imported here to avoid a cycle at module import time.
+        from repro.asm.multiplier import AlphabetSetMultiplier
+
+        self.bits = bits
+        self.layout = QuartetLayout(bits)
+        self._asm = AlphabetSetMultiplier(bits, ALPHA_1, fallback=fallback)
+
+    @property
+    def alphabet_set(self) -> AlphabetSet:
+        return ALPHA_1
+
+    def multiply(self, weight: int, operand: int) -> int:
+        """MAN product via shifts and adds only."""
+        return self._asm.multiply(weight, operand)
+
+    def multiply_array(self, weights, operands):
+        """Vectorised MAN product (see :class:`AlphabetSetMultiplier`)."""
+        return self._asm.multiply_array(weights, operands)
+
+    def effective_weight(self, weight: int) -> int:
+        return self._asm.effective_weight(weight)
+
+    def program(self, weight: int) -> ShiftAddProgram:
+        """Shift-add program for a MAN-representable weight."""
+        return man_program(self._asm.effective_weight(weight), self.layout)

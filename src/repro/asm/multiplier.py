@@ -1,0 +1,244 @@
+"""Functional (bit-accurate) models of the multipliers in the neuron.
+
+Two datapaths are modelled:
+
+* :class:`ConventionalMultiplier` — the exact signed array multiplier the
+  paper's baseline neuron uses.
+* :class:`AlphabetSetMultiplier` — the ASM: the weight magnitude is split
+  into quartets, each quartet selects a pre-computed alphabet multiple of the
+  input and a shift, and the shifted alphabets are summed.  With a reduced
+  alphabet set, quartet values outside the supported set cannot be selected;
+  the ``fallback`` policy models what the control logic does instead:
+
+  - ``"error"``    — raise; use when weights are guaranteed constrained,
+  - ``"nearest"``  — select the nearest supported quartet (midpoint rounds
+    up, no carry — the control logic is per-quartet),
+  - ``"truncate"`` — select the largest supported quartet not above the
+    value (simplest possible control logic).
+
+Because the ASM's output depends on the weight only through the per-quartet
+remapping, every signed weight has an *effective weight* such that
+``asm(W, I) == effective(W) * I`` exactly.  :meth:`effective_weight_table`
+exposes that mapping; the quantised network inference in
+:mod:`repro.nn.quantized` uses it to run ASM-exact forward passes as plain
+integer matmuls.  The explicit select/shift/add path in :meth:`multiply` is
+retained and cross-checked against the table in the tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.asm.alphabet import AlphabetSet
+from repro.asm.constraints import nearest_supported
+from repro.asm.decompose import UnsupportedQuartetError, decompose_quartet
+from repro.fixedpoint.binary import signed_range
+from repro.fixedpoint.quartet import QuartetLayout
+
+__all__ = ["ConventionalMultiplier", "AlphabetSetMultiplier", "FALLBACK_POLICIES"]
+
+FALLBACK_POLICIES = ("error", "nearest", "truncate")
+
+
+class ConventionalMultiplier:
+    """Exact signed multiplier on *bits*-bit operands (the baseline)."""
+
+    def __init__(self, bits: int) -> None:
+        self.bits = bits
+        self._low, self._high = signed_range(bits)
+
+    def _check(self, value: int, name: str) -> None:
+        if not self._low <= value <= self._high:
+            raise OverflowError(
+                f"{name} {value} outside signed {self.bits}-bit range"
+            )
+
+    def multiply(self, weight: int, operand: int) -> int:
+        """Exact product ``weight * operand``."""
+        self._check(weight, "weight")
+        self._check(operand, "operand")
+        return weight * operand
+
+    def multiply_array(self, weights: np.ndarray,
+                       operands: np.ndarray) -> np.ndarray:
+        """Vectorised exact product (broadcasting allowed)."""
+        return np.asarray(weights, dtype=np.int64) * np.asarray(
+            operands, dtype=np.int64)
+
+
+class AlphabetSetMultiplier:
+    """Bit-accurate ASM model for *bits*-bit weights.
+
+    Parameters
+    ----------
+    bits:
+        Weight word width; the quartet layout follows the paper's Fig. 4.
+    alphabet_set:
+        Alphabets available from the pre-computer bank.
+    fallback:
+        Control-logic policy for unsupported quartet values (see module
+        docstring).  Constrained networks never trigger it.
+    """
+
+    def __init__(self, bits: int, alphabet_set: AlphabetSet,
+                 fallback: str = "error") -> None:
+        if fallback not in FALLBACK_POLICIES:
+            raise ValueError(
+                f"unknown fallback {fallback!r}; choose from {FALLBACK_POLICIES}"
+            )
+        self.bits = bits
+        self.alphabet_set = alphabet_set
+        self.fallback = fallback
+        self.layout = QuartetLayout(bits)
+        self._low, self._high = signed_range(bits)
+        # Per-width quartet remap under the fallback policy.
+        self._quartet_maps = {
+            width: self._build_quartet_map(width)
+            for width in set(self.layout.quartet_widths)
+        }
+        self._effective_cache: np.ndarray | None = None
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+    def _build_quartet_map(self, width: int) -> list[int | None]:
+        """Quartet value → value actually realised by the select logic.
+
+        ``None`` marks values that raise under the ``"error"`` policy.
+        """
+        supported = sorted(self.alphabet_set.supported_values(width))
+        mapping: list[int | None] = []
+        for value in range(1 << width):
+            if value in self.alphabet_set.supported_values(width):
+                mapping.append(value)
+            elif self.fallback == "nearest":
+                mapping.append(nearest_supported(value, tuple(supported)))
+            elif self.fallback == "truncate":
+                below = [s for s in supported if s <= value]
+                mapping.append(max(below))
+            else:
+                mapping.append(None)
+        return mapping
+
+    # ------------------------------------------------------------------
+    # the explicit datapath: pre-compute, select, shift, add
+    # ------------------------------------------------------------------
+    def precompute_bank(self, operand: int) -> dict[int, int]:
+        """Alphabet multiples of *operand*, as the pre-computer bank would
+        produce them.  The MAN set ``{1}`` needs no bank; the dict is then
+        just the pass-through ``{1: operand}``.
+        """
+        if not self._low <= operand <= self._high:
+            raise OverflowError(
+                f"operand {operand} outside signed {self.bits}-bit range"
+            )
+        return {a: a * operand for a in self.alphabet_set}
+
+    def multiply(self, weight: int, operand: int) -> int:
+        """ASM product via explicit select/shift/add on the alphabet bank."""
+        if not self._low <= weight <= self._high:
+            raise OverflowError(
+                f"weight {weight} outside signed {self.bits}-bit range"
+            )
+        bank = self.precompute_bank(operand)
+        # Multiply the absolute value; the sign is applied at the end
+        # (paper §IV.A: the sign bit is handled outside the quartets).
+        magnitude = min(abs(weight), self.layout.max_magnitude)
+        sign = -1 if weight < 0 else 1
+        total = 0
+        for index, value in enumerate(self.layout.split(magnitude)):
+            width = self.layout.quartet_widths[index]
+            realised = self._quartet_maps[width][value]
+            if realised is None:
+                raise UnsupportedQuartetError(value, self.alphabet_set)
+            pair = decompose_quartet(realised, self.alphabet_set, width=width)
+            if pair is None:
+                continue
+            alphabet, local_shift = pair
+            selected = bank[alphabet]                       # select
+            shifted = selected << local_shift               # shift
+            total += shifted << self.layout.shift_of(index)  # add
+        return sign * total
+
+    # ------------------------------------------------------------------
+    # effective-weight view (exact equivalent of the datapath)
+    # ------------------------------------------------------------------
+    def effective_magnitude(self, magnitude: int) -> int:
+        """Magnitude the datapath realises for a weight magnitude."""
+        result = 0
+        for index, value in enumerate(self.layout.split(magnitude)):
+            width = self.layout.quartet_widths[index]
+            realised = self._quartet_maps[width][value]
+            if realised is None:
+                raise UnsupportedQuartetError(value, self.alphabet_set)
+            result |= realised << self.layout.shift_of(index)
+        return result
+
+    def effective_weight(self, weight: int) -> int:
+        """Signed weight the datapath realises for *weight*."""
+        if not self._low <= weight <= self._high:
+            raise OverflowError(
+                f"weight {weight} outside signed {self.bits}-bit range"
+            )
+        magnitude = min(abs(weight), self.layout.max_magnitude)
+        sign = -1 if weight < 0 else 1
+        return sign * self.effective_magnitude(magnitude)
+
+    #: Table entry marking a weight the ``"error"`` policy rejects.
+    _UNSUPPORTED = np.iinfo(np.int64).min
+
+    def effective_weight_table(self) -> np.ndarray:
+        """Signed lookup table: index ``w + 2**(bits-1)`` → effective weight.
+
+        Under the ``"error"`` policy, entries for unsupported weights hold
+        the sentinel ``_UNSUPPORTED``; :meth:`multiply_array` rejects any
+        batch that touches one.
+        """
+        if self._effective_cache is None:
+            offset = 1 << (self.bits - 1)
+            table = np.empty(2 * offset, dtype=np.int64)
+            for weight in range(-offset, offset):
+                try:
+                    table[weight + offset] = self.effective_weight(weight)
+                except UnsupportedQuartetError:
+                    table[weight + offset] = self._UNSUPPORTED
+            self._effective_cache = table
+        return self._effective_cache
+
+    def multiply_array(self, weights: np.ndarray,
+                       operands: np.ndarray) -> np.ndarray:
+        """Vectorised ASM product using the effective-weight table.
+
+        Under the ``"error"`` policy every weight in the batch must be on the
+        supported grid, otherwise :class:`UnsupportedQuartetError` is raised.
+        """
+        table = self.effective_weight_table()
+        weights = np.asarray(weights, dtype=np.int64)
+        offset = 1 << (self.bits - 1)
+        index = weights + offset
+        if index.size and (index.min() < 0 or index.max() >= len(table)):
+            raise OverflowError(
+                f"weights outside signed {self.bits}-bit range"
+            )
+        effective = table[index]
+        if index.size and (effective == self._UNSUPPORTED).any():
+            bad = int(weights[effective == self._UNSUPPORTED].flat[0])
+            raise UnsupportedQuartetError(abs(bad), self.alphabet_set)
+        return effective * np.asarray(operands, dtype=np.int64)
+
+    # ------------------------------------------------------------------
+    def error_profile(self) -> dict[str, float]:
+        """Worst and mean |effective - true| over all weights in range.
+
+        Only meaningful with a non-``error`` fallback (otherwise constrained
+        weights make the error identically zero).
+        """
+        offset = 1 << (self.bits - 1)
+        true = np.arange(-offset, offset, dtype=np.int64)
+        effective = self.effective_weight_table()
+        errors = np.abs(effective - true).astype(np.float64)
+        return {
+            "max_abs_error": float(errors.max()),
+            "mean_abs_error": float(errors.mean()),
+            "fraction_exact": float(np.mean(errors == 0)),
+        }

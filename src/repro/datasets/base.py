@@ -1,0 +1,96 @@
+"""Dataset container shared by all synthetic benchmarks."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["Dataset", "one_hot"]
+
+
+def one_hot(labels: np.ndarray, n_classes: int) -> np.ndarray:
+    """Integer labels → one-hot float matrix.
+
+    >>> one_hot(np.array([0, 2]), 3).tolist()
+    [[1.0, 0.0, 0.0], [0.0, 0.0, 1.0]]
+    """
+    labels = np.asarray(labels)
+    if labels.size and (labels.min() < 0 or labels.max() >= n_classes):
+        raise ValueError(
+            f"labels outside [0, {n_classes}): "
+            f"[{labels.min()}, {labels.max()}]"
+        )
+    encoded = np.zeros((len(labels), n_classes))
+    encoded[np.arange(len(labels)), labels] = 1.0
+    return encoded
+
+
+@dataclass
+class Dataset:
+    """Train/test split of images with integer labels.
+
+    Images are stored as ``(n, channels, h, w)`` float arrays in [0, 1];
+    :meth:`flat_train` / :meth:`flat_test` give the MLP view.
+    """
+
+    name: str
+    x_train: np.ndarray
+    y_train: np.ndarray
+    x_test: np.ndarray
+    y_test: np.ndarray
+    n_classes: int
+
+    def __post_init__(self) -> None:
+        if len(self.x_train) != len(self.y_train):
+            raise ValueError("train images and labels differ in length")
+        if len(self.x_test) != len(self.y_test):
+            raise ValueError("test images and labels differ in length")
+        if self.n_classes < 2:
+            raise ValueError("need at least two classes")
+
+    # ------------------------------------------------------------------
+    @property
+    def flat_train(self) -> np.ndarray:
+        return self.x_train.reshape(len(self.x_train), -1)
+
+    @property
+    def flat_test(self) -> np.ndarray:
+        return self.x_test.reshape(len(self.x_test), -1)
+
+    @property
+    def y_train_onehot(self) -> np.ndarray:
+        return one_hot(self.y_train, self.n_classes)
+
+    @property
+    def image_shape(self) -> tuple[int, ...]:
+        return tuple(self.x_train.shape[1:])
+
+    @property
+    def num_features(self) -> int:
+        return int(np.prod(self.image_shape))
+
+    def subset(self, n_train: int, n_test: int) -> "Dataset":
+        """First-``n`` slice of each split (for fast benchmark budgets)."""
+        if n_train > len(self.x_train) or n_test > len(self.x_test):
+            raise ValueError("subset larger than dataset")
+        return Dataset(
+            name=f"{self.name}[{n_train}/{n_test}]",
+            x_train=self.x_train[:n_train],
+            y_train=self.y_train[:n_train],
+            x_test=self.x_test[:n_test],
+            y_test=self.y_test[:n_test],
+            n_classes=self.n_classes,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"<Dataset {self.name}: {len(self.x_train)} train, "
+                f"{len(self.x_test)} test, {self.n_classes} classes>")
+
+
+def balanced_labels(n: int, n_classes: int,
+                    rng: np.random.Generator) -> np.ndarray:
+    """A shuffled label vector with (near-)equal class counts."""
+    labels = np.arange(n) % n_classes
+    rng.shuffle(labels)
+    return labels

@@ -1,0 +1,84 @@
+"""Synthetic SVHN stand-in: digits over street-scene clutter.
+
+SVHN is the paper's *hard* benchmark — house-number crops with distractor
+digits, varying contrast and heavy background structure.  The generator
+reproduces those difficulty drivers: a textured background gradient,
+fragments of neighbouring digits at the image borders, contrast jitter and
+strong noise.  Accuracy of the same MLP drops well below the clean-digit
+dataset, preserving the paper's 'complex datasets degrade more under ASM'
+observation (Fig. 7).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets.base import Dataset, balanced_labels
+from repro.datasets.strokefont import (
+    glyph_strokes,
+    jitter_transform,
+    render_strokes,
+)
+
+__all__ = ["synthetic_svhn"]
+
+_DIGITS = "0123456789"
+
+
+def _background(image_size: int, rng: np.random.Generator) -> np.ndarray:
+    """Low-frequency intensity gradient plus blocky texture."""
+    grid = np.linspace(0.0, 1.0, image_size)
+    gx, gy = np.meshgrid(grid, grid, indexing="xy")
+    direction = rng.uniform(0, 2 * np.pi)
+    gradient = 0.5 + 0.5 * (np.cos(direction) * gx + np.sin(direction) * gy)
+    level = rng.uniform(0.1, 0.45)
+    coarse = rng.normal(0.0, 0.25, size=(4, 4))
+    texture = np.kron(coarse, np.ones((image_size // 4, image_size // 4)))
+    return np.clip(level * gradient + 0.15 * texture, 0.0, 1.0)
+
+
+def _distractor(image: np.ndarray, rng: np.random.Generator) -> None:
+    """Paste a fragment of a random digit at a border, in place."""
+    size = image.shape[0]
+    char = _DIGITS[rng.integers(10)]
+    fragment = render_strokes(glyph_strokes(char), image_size=size,
+                              thickness=rng.uniform(0.03, 0.06),
+                              transform=jitter_transform(rng))
+    shift = rng.integers(size // 2, size - size // 4)
+    axis = rng.integers(2)
+    sign = 1 if rng.uniform() < 0.5 else -1
+    fragment = np.roll(fragment, sign * shift, axis=axis)
+    strength = rng.uniform(0.4, 0.9)
+    np.maximum(image, fragment * strength, out=image)
+
+
+def synthetic_svhn(n_train: int = 2000, n_test: int = 500,
+                   image_size: int = 32, noise: float = 0.12,
+                   seed: int = 0) -> Dataset:
+    """Build the house-number dataset (10 classes, cluttered)."""
+    if n_train < 1 or n_test < 1:
+        raise ValueError("need at least one sample per split")
+    rng = np.random.default_rng(seed)
+
+    def split(n: int) -> tuple[np.ndarray, np.ndarray]:
+        labels = balanced_labels(n, 10, rng)
+        images = np.empty((n, 1, image_size, image_size))
+        for index, label in enumerate(labels):
+            image = _background(image_size, rng)
+            if rng.uniform() < 0.8:
+                _distractor(image, rng)
+            digit = render_strokes(
+                glyph_strokes(_DIGITS[label]), image_size=image_size,
+                thickness=rng.uniform(0.04, 0.08),
+                transform=jitter_transform(rng, rotation_deg=14,
+                                           translate=0.1))
+            contrast = rng.uniform(0.55, 1.0)
+            np.maximum(image, digit * contrast, out=image)
+            image += rng.normal(0.0, noise, size=image.shape)
+            images[index, 0] = np.clip(image, 0.0, 1.0)
+        return images, labels
+
+    x_train, y_train = split(n_train)
+    x_test, y_test = split(n_test)
+    return Dataset("synthetic-svhn", x_train, y_train, x_test, y_test,
+                   n_classes=10)

@@ -1,0 +1,153 @@
+"""Accuracy experiments: Tables II and III and Fig. 7.
+
+For one benchmark the grid runs:
+
+1. unconstrained training to saturation → conventional engine accuracy,
+2. for each alphabet count (4, 2, 1): restore the unconstrained weights,
+   retrain under constraints at a lower learning rate, measure accuracy
+   through the bit-accurate ASM engine.
+
+Rows mirror the paper's tables: (size of synapse, number of alphabets,
+accuracy %, accuracy loss %).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.asm.alphabet import standard_set
+from repro.asm.constraints import WeightConstrainer
+from repro.datasets.registry import BENCHMARKS, build_model, load_dataset
+from repro.experiments.config import TRAIN_SETTINGS, Budget, budget
+from repro.hardware.report import format_table
+from repro.nn.optim import SGD
+from repro.nn.quantized import QuantizationSpec, QuantizedNetwork
+from repro.nn.trainer import Trainer
+from repro.training.constrained import ConstraintProjector, constrained_trainer
+
+__all__ = ["AccuracyRow", "AccuracyGrid", "run_accuracy_grid",
+           "run_figure7", "format_accuracy_table"]
+
+
+@dataclass(frozen=True)
+class AccuracyRow:
+    """One row of Table II/III."""
+
+    bits: int
+    num_alphabets: int | None      # None = conventional multiplier
+    accuracy: float
+    loss: float                    # vs the conventional row, in points
+
+    @property
+    def label(self) -> str:
+        if self.num_alphabets is None:
+            return "conventional NN"
+        return f"{self.num_alphabets} {standard_set(self.num_alphabets)}"
+
+
+@dataclass
+class AccuracyGrid:
+    """All rows for one application at one word width."""
+
+    app: str
+    bits: int
+    rows: list[AccuracyRow]
+
+    @property
+    def baseline(self) -> AccuracyRow:
+        return self.rows[0]
+
+    def row_for(self, num_alphabets: int | None) -> AccuracyRow:
+        for row in self.rows:
+            if row.num_alphabets == num_alphabets:
+                return row
+        raise KeyError(f"no row for {num_alphabets} alphabets")
+
+    @property
+    def max_loss(self) -> float:
+        return max(row.loss for row in self.rows)
+
+
+def run_accuracy_grid(app: str, bits: int | None = None,
+                      alphabet_counts: tuple[int, ...] = (4, 2, 1),
+                      full: bool = False, seed: int = 0,
+                      constraint_mode: str = "greedy",
+                      budget_override: Budget | None = None) -> AccuracyGrid:
+    """Run the Table II/III grid for one application.
+
+    ``bits=None`` uses the benchmark's Table IV word width.  The grid always
+    starts with the conventional row, then one row per alphabet count.
+    """
+    spec = BENCHMARKS[app]
+    bits = bits if bits is not None else spec.bits
+    tier = budget_override or budget(full)
+    settings = TRAIN_SETTINGS[app]
+    dataset = load_dataset(app, n_train=tier.n_train, n_test=tier.n_test,
+                           seed=seed)
+    model = build_model(app, seed=seed + 1)
+    use_images = spec.needs_images
+    x_train = dataset.x_train if use_images else dataset.flat_train
+    x_test = dataset.x_test if use_images else dataset.flat_test
+
+    trainer = Trainer(model, SGD(model, settings.learning_rate),
+                      batch_size=settings.batch_size,
+                      patience=settings.patience)
+    trainer.fit(x_train, dataset.y_train_onehot, x_test, dataset.y_test,
+                max_epochs=tier.max_epochs)
+
+    baseline_acc = QuantizedNetwork.from_float(
+        model, QuantizationSpec(bits)).accuracy(x_test, dataset.y_test)
+    rows = [AccuracyRow(bits=bits, num_alphabets=None,
+                        accuracy=baseline_acc, loss=0.0)]
+    restore_point = model.state()
+
+    for count in alphabet_counts:
+        alphabet_set = standard_set(count)
+        model.load_state(restore_point)
+        projector = ConstraintProjector(model, bits, alphabet_set,
+                                        mode=constraint_mode)
+        optimizer = SGD(model, settings.learning_rate
+                        * settings.retrain_lr_scale)
+        retrainer = constrained_trainer(
+            model, optimizer, projector,
+            batch_size=settings.batch_size, patience=settings.patience)
+        retrainer.fit(x_train, dataset.y_train_onehot, x_test,
+                      dataset.y_test, max_epochs=tier.retrain_epochs)
+        constrainer = WeightConstrainer(bits, alphabet_set,
+                                        mode=constraint_mode)
+        quantized = QuantizedNetwork.from_float(
+            model, QuantizationSpec(bits, alphabet_set,
+                                    constrainer=constrainer))
+        accuracy = quantized.accuracy(x_test, dataset.y_test)
+        rows.append(AccuracyRow(bits=bits, num_alphabets=count,
+                                accuracy=accuracy,
+                                loss=baseline_acc - accuracy))
+    return AccuracyGrid(app=app, bits=bits, rows=rows)
+
+
+def run_figure7(full: bool = False, seed: int = 0,
+                apps: tuple[str, ...] | None = None,
+                ) -> dict[str, AccuracyGrid]:
+    """Fig. 7: the accuracy grid for every application at its Table IV
+    word width, normalised rows included via :class:`AccuracyGrid`."""
+    from repro.experiments.config import ACCURACY_APPS
+    grids = {}
+    for app in (apps or ACCURACY_APPS):
+        grids[app] = run_accuracy_grid(app, full=full, seed=seed)
+    return grids
+
+
+def format_accuracy_table(grid: AccuracyGrid, title: str) -> str:
+    """Render a grid in the paper's Table II/III shape."""
+    rows = []
+    for row in grid.rows:
+        rows.append([
+            f"{row.bits} bits",
+            row.label,
+            f"{row.accuracy * 100:.2f}",
+            "--" if row.num_alphabets is None else f"{row.loss * 100:.2f}",
+        ])
+    return format_table(
+        ["Size of Synapse", "No. of Alphabets", "Accuracy (%)",
+         "Accuracy Loss (%)"],
+        rows, title=title)

@@ -1,0 +1,76 @@
+"""Fig. 9: per-application inference energy, grouped by network class.
+
+The paper groups its five applications by size/type: (a) 2-layer MLPs
+(MNIST MLP, Face Detection), (b) 5-6 layer MLPs (SVHN, TICH), (c) the
+6-layer LeNet CNN.  For each application the CSHM engine costs one
+inference pass under the conventional, 4-, 2- and 1-alphabet designs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.asm.alphabet import ALPHA_1, ALPHA_2, ALPHA_4, AlphabetSet
+from repro.datasets.registry import BENCHMARKS, build_model
+from repro.hardware.engine import ProcessingEngine
+from repro.hardware.report import format_table
+
+__all__ = ["EnergyRow", "FIGURE9_GROUPS", "run_figure9",
+           "format_energy_table"]
+
+#: Paper Fig. 9 grouping of the five applications.
+FIGURE9_GROUPS: dict[str, tuple[str, ...]] = {
+    "2-layer MLPs": ("mnist_mlp", "face"),
+    "5-6 layer MLPs": ("svhn", "tich"),
+    "6-layer CNN": ("mnist_cnn",),
+}
+
+
+@dataclass(frozen=True)
+class EnergyRow:
+    """Energy of one application under one design."""
+
+    group: str
+    app: str
+    design: str                 # "conventional" / "{1,3,5,7}" / ...
+    energy_nj: float
+    normalized: float           # vs the conventional design, same app
+
+
+def run_figure9() -> list[EnergyRow]:
+    """Cost one inference of every benchmark under every design."""
+    designs: list[tuple[str, AlphabetSet | None]] = [
+        ("conventional", None),
+        (str(ALPHA_4), ALPHA_4),
+        (str(ALPHA_2), ALPHA_2),
+        (str(ALPHA_1), ALPHA_1),
+    ]
+    rows = []
+    for group, apps in FIGURE9_GROUPS.items():
+        for app in apps:
+            spec = BENCHMARKS[app]
+            topology = build_model(app).topology()
+            baseline_nj = None
+            for label, aset in designs:
+                engine = ProcessingEngine(spec.bits, aset)
+                report = engine.run(topology)
+                if baseline_nj is None:
+                    baseline_nj = report.energy_nj
+                rows.append(EnergyRow(
+                    group=group, app=app, design=label,
+                    energy_nj=report.energy_nj,
+                    normalized=report.energy_nj / baseline_nj,
+                ))
+    return rows
+
+
+def format_energy_table(rows: list[EnergyRow], title: str) -> str:
+    table_rows = [
+        [row.group, row.app, row.design,
+         f"{row.energy_nj:.1f}", f"{row.normalized:.3f}"]
+        for row in rows
+    ]
+    return format_table(
+        ["Group", "Application", "Design", "Energy (nJ)",
+         "normalized"],
+        table_rows, title=title)

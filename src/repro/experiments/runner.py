@@ -1,0 +1,134 @@
+"""Unified experiment runner.
+
+Usage::
+
+    python -m repro.experiments.runner --experiment all          # quick tier
+    python -m repro.experiments.runner --experiment fig7 --full  # paper tier
+    python -m repro.experiments.runner --list
+
+Each experiment prints its table(s) and, when ``--json`` is given, appends a
+machine-readable record to ``results/<experiment>.json``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+from dataclasses import asdict, is_dataclass
+
+from repro.experiments.accuracy import (
+    format_accuracy_table,
+    run_accuracy_grid,
+    run_figure7,
+)
+from repro.experiments.config import ACCURACY_APPS
+from repro.experiments.energy import format_energy_table, run_figure9
+from repro.experiments.mixed import format_figure11_table, run_figure11
+from repro.experiments.power_area import (
+    format_hardware_table,
+    run_figure8,
+    run_figure10,
+)
+from repro.experiments.tables import format_table1, format_table4, format_table5
+
+__all__ = ["EXPERIMENTS", "run_experiment", "main"]
+
+
+def _jsonable(value):
+    if is_dataclass(value) and not isinstance(value, type):
+        return {k: _jsonable(v) for k, v in asdict(value).items()}
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    return value
+
+
+def run_experiment(name: str, full: bool = False,
+                   seed: int = 0) -> tuple[str, object]:
+    """Run one experiment; returns (printable text, json-able payload)."""
+    if name == "table1":
+        return format_table1(), {}
+    if name == "table2":
+        grid = run_accuracy_grid("face", full=full, seed=seed)
+        return format_accuracy_table(
+            grid, "Table II - NN accuracy, face detection"), grid
+    if name == "table3":
+        grids = [run_accuracy_grid("mnist_mlp", bits=8, full=full, seed=seed),
+                 run_accuracy_grid("mnist_cnn", bits=12, full=full,
+                                   seed=seed)]
+        text = "\n\n".join(
+            format_accuracy_table(g, f"Table III - digit recognition "
+                                     f"({g.bits} bit, {g.app})")
+            for g in grids)
+        return text, grids
+    if name == "table4":
+        return format_table4(), {}
+    if name == "table5":
+        return format_table5(), {}
+    if name == "fig7":
+        grids = run_figure7(full=full, seed=seed)
+        text = "\n\n".join(
+            format_accuracy_table(
+                grid, f"Fig 7 - accuracy, {app} ({grid.bits} bit)")
+            for app, grid in grids.items())
+        return text, grids
+    if name == "fig8":
+        rows = run_figure8()
+        return format_hardware_table(
+            rows, "Fig 8 - normalized neuron power @ iso-speed"), rows
+    if name == "fig9":
+        rows = run_figure9()
+        return format_energy_table(
+            rows, "Fig 9 - per-inference energy by application"), rows
+    if name == "fig10":
+        rows = run_figure10()
+        return format_hardware_table(
+            rows, "Fig 10 - normalized neuron area @ iso-speed"), rows
+    if name == "fig11":
+        rows = run_figure11(full=full, seed=seed)
+        return format_figure11_table(
+            rows, "Fig 11 - mixed-alphabet accuracy and energy"), rows
+    raise ValueError(f"unknown experiment {name!r}; see --list")
+
+
+EXPERIMENTS = ("table1", "table2", "table3", "table4", "table5",
+               "fig7", "fig8", "fig9", "fig10", "fig11")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Reproduce tables/figures of the MAN paper")
+    parser.add_argument("--experiment", "-e", default="all",
+                        help="experiment id or 'all'")
+    parser.add_argument("--full", action="store_true",
+                        help="paper-scale training budgets")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--json", action="store_true",
+                        help="write results/<experiment>.json")
+    parser.add_argument("--list", action="store_true",
+                        help="list experiment ids and exit")
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for name in EXPERIMENTS:
+            print(name)
+        return 0
+
+    names = EXPERIMENTS if args.experiment == "all" else (args.experiment,)
+    for name in names:
+        text, payload = run_experiment(name, full=args.full, seed=args.seed)
+        print(text)
+        print()
+        if args.json:
+            os.makedirs("results", exist_ok=True)
+            path = os.path.join("results", f"{name}.json")
+            with open(path, "w") as handle:
+                json.dump(_jsonable(payload), handle, indent=2, default=str)
+            print(f"[wrote {path}]")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

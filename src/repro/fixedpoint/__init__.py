@@ -1,0 +1,30 @@
+"""Fixed-point arithmetic substrate: two's complement, Q-formats, quartets."""
+
+from repro.fixedpoint.binary import (
+    bit_string,
+    clog2,
+    from_twos_complement,
+    is_power_of_two,
+    popcount,
+    sign_bit,
+    signed_range,
+    to_twos_complement,
+)
+from repro.fixedpoint.qformat import QFormat, qformat_for_range
+from repro.fixedpoint.quartet import LAYOUT_8BIT, LAYOUT_12BIT, QuartetLayout
+
+__all__ = [
+    "bit_string",
+    "clog2",
+    "from_twos_complement",
+    "is_power_of_two",
+    "popcount",
+    "sign_bit",
+    "signed_range",
+    "to_twos_complement",
+    "QFormat",
+    "qformat_for_range",
+    "QuartetLayout",
+    "LAYOUT_8BIT",
+    "LAYOUT_12BIT",
+]

@@ -1,0 +1,147 @@
+"""Fixed-point Q-format quantisation.
+
+The paper stores synapse weights and neuron inputs as 8- or 12-bit
+two's-complement words.  A :class:`QFormat` describes where the binary point
+sits; quantisation is round-to-nearest with saturation, matching what the
+Verilog processing engine would see after weight download.
+
+Per-layer scales are restricted to powers of two (:func:`qformat_for_range`)
+because a power-of-two scale costs nothing in hardware (a wire re-labelling),
+whereas an arbitrary scale would itself need a multiplier — exactly the unit
+the paper is trying to remove.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.fixedpoint.binary import signed_range
+
+__all__ = ["QFormat", "qformat_for_range"]
+
+
+@dataclass(frozen=True)
+class QFormat:
+    """Signed fixed-point format with *total_bits* bits, *frac_bits* of which
+    sit right of the binary point.
+
+    ``frac_bits`` may be negative (coarse grids) or exceed ``total_bits - 1``
+    (sub-unit ranges); both arise from power-of-two per-layer scaling.
+
+    >>> q = QFormat(8, 7)
+    >>> q.resolution
+    0.0078125
+    >>> q.quantize(0.5)
+    64
+    >>> q.to_float(64)
+    0.5
+    """
+
+    total_bits: int
+    frac_bits: int
+
+    def __post_init__(self) -> None:
+        if self.total_bits < 2:
+            raise ValueError(
+                f"QFormat needs at least 2 bits, got {self.total_bits}"
+            )
+
+    @property
+    def int_bits(self) -> int:
+        """Bits left of the binary point, excluding the sign bit."""
+        return self.total_bits - 1 - self.frac_bits
+
+    @property
+    def resolution(self) -> float:
+        """Value of one least-significant bit."""
+        return 2.0 ** (-self.frac_bits)
+
+    @property
+    def min_value(self) -> float:
+        """Most negative representable value."""
+        return signed_range(self.total_bits)[0] * self.resolution
+
+    @property
+    def max_value(self) -> float:
+        """Most positive representable value."""
+        return signed_range(self.total_bits)[1] * self.resolution
+
+    @property
+    def max_magnitude(self) -> int:
+        """Largest integer magnitude (``2**(total_bits-1) - 1``)."""
+        return signed_range(self.total_bits)[1]
+
+    # ------------------------------------------------------------------
+    # scalar API
+    # ------------------------------------------------------------------
+    def quantize(self, value: float) -> int:
+        """Round *value* to the nearest representable integer code, saturating.
+
+        Round-half-away-from-zero, the behaviour of a rounding adder stage.
+        """
+        low, high = signed_range(self.total_bits)
+        scaled = value / self.resolution
+        code = int(np.floor(abs(scaled) + 0.5)) * (1 if scaled >= 0 else -1)
+        return max(low, min(high, code))
+
+    def to_float(self, code: int) -> float:
+        """Value of the integer *code* in this format."""
+        low, high = signed_range(self.total_bits)
+        if not low <= code <= high:
+            raise OverflowError(
+                f"code {code} outside signed {self.total_bits}-bit range"
+            )
+        return code * self.resolution
+
+    # ------------------------------------------------------------------
+    # array API
+    # ------------------------------------------------------------------
+    def quantize_array(self, values: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`quantize`; returns an ``int64`` array."""
+        low, high = signed_range(self.total_bits)
+        scaled = np.asarray(values, dtype=np.float64) / self.resolution
+        codes = np.sign(scaled) * np.floor(np.abs(scaled) + 0.5)
+        return np.clip(codes, low, high).astype(np.int64)
+
+    def to_float_array(self, codes: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`to_float`; validates range."""
+        codes = np.asarray(codes)
+        low, high = signed_range(self.total_bits)
+        if codes.size and (codes.min() < low or codes.max() > high):
+            raise OverflowError(
+                f"codes outside signed {self.total_bits}-bit range"
+            )
+        return codes.astype(np.float64) * self.resolution
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Q{self.int_bits}.{self.frac_bits}"
+
+
+def qformat_for_range(total_bits: int, max_abs: float) -> QFormat:
+    """Choose the finest power-of-two-scaled :class:`QFormat` covering
+    ``[-max_abs, +max_abs]``.
+
+    This is the per-layer weight scale rule: the integer grid is scaled by
+    ``2**-frac_bits`` with the largest ``frac_bits`` such that ``max_abs``
+    still fits.
+
+    >>> qformat_for_range(8, 0.9)
+    QFormat(total_bits=8, frac_bits=7)
+    >>> qformat_for_range(8, 3.5)
+    QFormat(total_bits=8, frac_bits=5)
+    """
+    if max_abs <= 0:
+        raise ValueError(f"max_abs must be positive, got {max_abs}")
+    import math
+
+    max_mag = signed_range(total_bits)[1]
+    # Largest frac such that max_abs <= max_mag * 2**-frac, computed directly
+    # then nudged to absorb float rounding at power-of-two boundaries.
+    frac = math.floor(math.log2(max_mag / max_abs))
+    while max_abs > max_mag * 2.0 ** (-frac):
+        frac -= 1
+    while max_abs <= max_mag * 2.0 ** (-(frac + 1)):
+        frac += 1
+    return QFormat(total_bits, frac)

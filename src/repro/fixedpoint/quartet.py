@@ -1,0 +1,137 @@
+"""Quartet decomposition of synapse-weight magnitudes.
+
+The ASM splits the magnitude of a weight into 4-bit groups the paper calls
+*quartets*.  For an *n*-bit two's-complement weight the most-significant
+quartet loses one bit to the sign, so:
+
+* 8-bit weight  → quartets ``(P, R)`` with widths ``(3, 4)``
+* 12-bit weight → quartets ``(P, Q, R)`` with widths ``(3, 4, 4)``
+
+(the paper's Fig. 4).  The sign is handled outside the quartet datapath —
+"we will multiply only the absolute value".
+
+:class:`QuartetLayout` owns the split/join arithmetic.  Quartets are indexed
+LSB-first throughout the library (index 0 == ``R``), because shift amounts
+grow with the index (quartet *i* is weighted by ``16**i``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["QuartetLayout", "LAYOUT_8BIT", "LAYOUT_12BIT"]
+
+_QUARTET_BITS = 4
+
+
+@dataclass(frozen=True)
+class QuartetLayout:
+    """Describes how a signed *bits*-bit weight splits into 4-bit quartets."""
+
+    bits: int
+
+    def __post_init__(self) -> None:
+        if self.bits < 5:
+            raise ValueError(
+                f"a quartet layout needs at least 5 bits (sign + one quartet), "
+                f"got {self.bits}"
+            )
+        if (self.bits - 1) % 1 != 0:
+            raise ValueError(f"invalid bit width {self.bits}")
+
+    @property
+    def magnitude_bits(self) -> int:
+        """Bits available to the magnitude (all but the sign)."""
+        return self.bits - 1
+
+    @property
+    def num_quartets(self) -> int:
+        """Number of quartets, LSB-first; the MSB quartet may be narrow."""
+        return -(-self.magnitude_bits // _QUARTET_BITS)
+
+    @property
+    def quartet_widths(self) -> tuple[int, ...]:
+        """Width in bits of each quartet, LSB-first.
+
+        >>> QuartetLayout(8).quartet_widths
+        (4, 3)
+        >>> QuartetLayout(12).quartet_widths
+        (4, 4, 3)
+        """
+        widths = []
+        remaining = self.magnitude_bits
+        while remaining > 0:
+            widths.append(min(_QUARTET_BITS, remaining))
+            remaining -= _QUARTET_BITS
+        return tuple(widths)
+
+    @property
+    def max_magnitude(self) -> int:
+        """Largest representable magnitude (``2**(bits-1) - 1``)."""
+        return (1 << self.magnitude_bits) - 1
+
+    def quartet_max(self, index: int) -> int:
+        """Largest value the quartet at LSB-first *index* can hold."""
+        return (1 << self.quartet_widths[index]) - 1
+
+    # ------------------------------------------------------------------
+    def split(self, magnitude: int) -> tuple[int, ...]:
+        """Split a non-negative *magnitude* into quartet values, LSB-first.
+
+        >>> QuartetLayout(8).split(105)   # 0b110_1001 -> R=0b1001, P=0b110
+        (9, 6)
+        >>> QuartetLayout(12).split(0b101_1010_0110)
+        (6, 10, 5)
+        """
+        self._check_magnitude(magnitude)
+        quartets = []
+        for width in self.quartet_widths:
+            quartets.append(magnitude & ((1 << width) - 1))
+            magnitude >>= width
+        return tuple(quartets)
+
+    def join(self, quartets: tuple[int, ...] | list[int]) -> int:
+        """Inverse of :meth:`split`.
+
+        >>> QuartetLayout(8).join((9, 6))
+        105
+        """
+        widths = self.quartet_widths
+        if len(quartets) != len(widths):
+            raise ValueError(
+                f"expected {len(widths)} quartets, got {len(quartets)}"
+            )
+        magnitude = 0
+        shift = 0
+        for value, width in zip(quartets, widths):
+            if not 0 <= value <= (1 << width) - 1:
+                raise ValueError(
+                    f"quartet value {value} does not fit in {width} bits"
+                )
+            magnitude |= value << shift
+            shift += width
+        return magnitude
+
+    def shift_of(self, index: int) -> int:
+        """Bit position of quartet *index*'s LSB (its weight is ``2**shift``).
+
+        >>> QuartetLayout(12).shift_of(1)
+        4
+        """
+        widths = self.quartet_widths
+        if not 0 <= index < len(widths):
+            raise IndexError(f"quartet index {index} out of range")
+        return sum(widths[:index])
+
+    def _check_magnitude(self, magnitude: int) -> None:
+        if magnitude < 0:
+            raise ValueError(f"magnitude must be non-negative, got {magnitude}")
+        if magnitude > self.max_magnitude:
+            raise OverflowError(
+                f"magnitude {magnitude} exceeds {self.bits}-bit limit "
+                f"{self.max_magnitude}"
+            )
+
+
+LAYOUT_8BIT = QuartetLayout(8)
+LAYOUT_12BIT = QuartetLayout(12)

@@ -1,0 +1,212 @@
+"""CSHM processing engine: cycle counts and per-inference energy.
+
+The paper's processing engine evaluates four neurons at a time (§III): one
+input word is broadcast per cycle, the shared pre-computer bank produces its
+alphabet multiples, and four MAC units consume it against four different
+weights.  For a layer with ``n`` neurons of fan-in ``f`` the engine therefore
+spends ``ceil(n / units) * f`` cycles.
+
+Per-inference energy combines the engine's per-MAC datapath energy (from
+:mod:`repro.hardware.neuron`, which already amortises the bank and bus over
+the cluster) with per-neuron activation accesses.  Mixed per-layer alphabet
+plans (paper §VI.E) assign a different neuron design to each layer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import ceil
+
+from repro.asm.alphabet import AlphabetSet
+from repro.hardware.neuron import CLOCK_GHZ, NeuronConfig, make_neuron
+from repro.hardware.technology import IBM45, TechnologyModel
+
+__all__ = ["LayerWork", "NetworkTopology", "ProcessingEngine",
+           "EngineReport", "LayerEnergy"]
+
+
+@dataclass(frozen=True)
+class LayerWork:
+    """Compute demand of one network layer during inference."""
+
+    name: str
+    neurons: int
+    macs_per_neuron: int
+
+    def __post_init__(self) -> None:
+        if self.neurons < 1:
+            raise ValueError(f"layer {self.name}: neurons must be positive")
+        if self.macs_per_neuron < 0:
+            raise ValueError(f"layer {self.name}: negative MAC count")
+
+    @property
+    def total_macs(self) -> int:
+        return self.neurons * self.macs_per_neuron
+
+
+@dataclass(frozen=True)
+class NetworkTopology:
+    """Ordered layers of a network, as seen by the processing engine."""
+
+    name: str
+    layers: tuple[LayerWork, ...]
+
+    def __post_init__(self) -> None:
+        if not self.layers:
+            raise ValueError("a topology needs at least one layer")
+
+    @property
+    def total_macs(self) -> int:
+        return sum(layer.total_macs for layer in self.layers)
+
+    @property
+    def total_neurons(self) -> int:
+        return sum(layer.neurons for layer in self.layers)
+
+    @classmethod
+    def from_layer_sizes(cls, name: str, input_size: int,
+                         sizes: list[int]) -> "NetworkTopology":
+        """Build an MLP topology: each layer is fully connected.
+
+        >>> t = NetworkTopology.from_layer_sizes("mnist", 1024, [100, 10])
+        >>> t.total_macs
+        103400
+        """
+        layers = []
+        fan_in = input_size
+        for index, size in enumerate(sizes):
+            layers.append(LayerWork(f"fc{index + 1}", size, fan_in))
+            fan_in = size
+        return cls(name, tuple(layers))
+
+
+@dataclass(frozen=True)
+class LayerEnergy:
+    """Per-layer slice of an :class:`EngineReport`."""
+
+    name: str
+    cycles: int
+    macs: int
+    energy_nj: float
+    alphabet_label: str
+
+
+@dataclass(frozen=True)
+class EngineReport:
+    """Cycle and energy totals for one inference pass."""
+
+    topology_name: str
+    design_label: str
+    cycles: int
+    total_macs: int
+    energy_nj: float
+    latency_us: float
+    layers: tuple[LayerEnergy, ...]
+
+    def layer_cycle_fraction(self, last_n: int) -> float:
+        """Fraction of cycles spent in the last *last_n* layers.
+
+        Reproduces the paper's §VI.E observation that the concluding layers
+        of the SVHN network use only ~3.84% of total processing cycles.
+        """
+        if not 0 <= last_n <= len(self.layers):
+            raise ValueError(f"last_n must be in [0, {len(self.layers)}]")
+        tail = sum(layer.cycles for layer in self.layers[-last_n:]) \
+            if last_n else 0
+        return tail / self.cycles if self.cycles else 0.0
+
+
+class ProcessingEngine:
+    """A cluster of ``units`` MAC datapaths sharing one pre-computer bank.
+
+    Parameters
+    ----------
+    bits:
+        Neuron word width; picks the paper clock unless ``clock_ghz`` given.
+    alphabet_set:
+        ``None`` for the conventional-multiplier engine; an
+        :class:`AlphabetSet` for an ASM/MAN engine.  Per-layer overrides are
+        given to :meth:`run` for mixed plans.
+    """
+
+    def __init__(self, bits: int, alphabet_set: AlphabetSet | None = None,
+                 tech: TechnologyModel = IBM45,
+                 clock_ghz: float | None = None,
+                 config: NeuronConfig | None = None) -> None:
+        self.bits = bits
+        self.tech = tech
+        self.config = config or NeuronConfig()
+        self.clock_ghz = clock_ghz if clock_ghz is not None else CLOCK_GHZ[bits]
+        self.alphabet_set = alphabet_set
+        self.units = self.config.share_units
+        self._design_cache: dict[object, object] = {}
+
+    # ------------------------------------------------------------------
+    def _design(self, alphabet_set: AlphabetSet | None):
+        key = alphabet_set.alphabets if alphabet_set is not None else None
+        if key not in self._design_cache:
+            self._design_cache[key] = make_neuron(
+                self.bits, alphabet_set, tech=self.tech,
+                clock_ghz=self.clock_ghz, config=self.config)
+        return self._design_cache[key]
+
+    @staticmethod
+    def _label(alphabet_set: AlphabetSet | None) -> str:
+        return "conventional" if alphabet_set is None else str(alphabet_set)
+
+    def layer_cycles(self, layer: LayerWork) -> int:
+        """Cycles to evaluate *layer*: groups of ``units`` neurons, one MAC
+        per unit per cycle."""
+        return ceil(layer.neurons / self.units) * layer.macs_per_neuron
+
+    # ------------------------------------------------------------------
+    def run(self, topology: NetworkTopology,
+            layer_alphabets: list[AlphabetSet | None] | None = None,
+            ) -> EngineReport:
+        """Cost one inference pass of *topology*.
+
+        ``layer_alphabets`` optionally assigns an alphabet set per layer
+        (``None`` entries = conventional); by default every layer uses the
+        engine's own ``alphabet_set``.
+        """
+        if layer_alphabets is None:
+            layer_alphabets = [self.alphabet_set] * len(topology.layers)
+        if len(layer_alphabets) != len(topology.layers):
+            raise ValueError(
+                f"{len(layer_alphabets)} alphabet entries for "
+                f"{len(topology.layers)} layers"
+            )
+        layers = []
+        total_cycles = 0
+        total_energy_fj = 0.0
+        for layer, aset in zip(topology.layers, layer_alphabets):
+            design = self._design(aset)
+            cost = design.cost()
+            cycles = self.layer_cycles(layer)
+            # every MAC costs the datapath energy; the idle lanes of a
+            # ragged final group still clock their registers, which the
+            # ceil() in the cycle count already over-approximates
+            energy_fj = layer.total_macs * cost.energy_per_mac_fj
+            layers.append(LayerEnergy(
+                name=layer.name,
+                cycles=cycles,
+                macs=layer.total_macs,
+                energy_nj=energy_fj * 1e-6,
+                alphabet_label=self._label(aset),
+            ))
+            total_cycles += cycles
+            total_energy_fj += energy_fj
+        if len({self._label(a) for a in layer_alphabets}) == 1:
+            design_label = self._label(layer_alphabets[0])
+        else:
+            design_label = "mixed(" + ",".join(
+                self._label(a) for a in layer_alphabets) + ")"
+        return EngineReport(
+            topology_name=topology.name,
+            design_label=design_label,
+            cycles=total_cycles,
+            total_macs=topology.total_macs,
+            energy_nj=total_energy_fj * 1e-6,
+            latency_us=total_cycles / (self.clock_ghz * 1e3),
+            layers=tuple(layers),
+        )

@@ -1,0 +1,203 @@
+"""Cycle-accurate CSHM engine simulator with data-dependent energy.
+
+The analytic :class:`~repro.hardware.engine.ProcessingEngine` costs every
+MAC at the datapath's average energy.  This simulator actually *schedules*
+the computation the way the paper's RTL engine does and charges energy per
+observed bit toggle:
+
+* one input activation is broadcast per cycle,
+* the shared pre-computer bank recomputes its alphabet multiples,
+* each of the ``units`` MAC lanes multiplies the broadcast input by its
+  neuron's weight (already remapped to the ASM's effective value) and
+  accumulates.
+
+Energy is the Hamming distance between consecutive values on each tracked
+net class (input bus, bank outputs, product registers, accumulators) times
+a per-bit-toggle energy derived from the technology model.  Because toggles
+depend on the operand stream, the simulator exposes the *data dependence*
+of energy that the analytic model averages away — sparse activations make
+shift-add datapaths cheaper still.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.asm.alphabet import AlphabetSet
+from repro.asm.multiplier import AlphabetSetMultiplier
+from repro.fixedpoint.binary import popcount_array
+from repro.hardware.technology import IBM45, TechnologyModel
+
+__all__ = ["ToggleCounts", "LayerTrace", "CycleAccurateEngine"]
+
+#: Mask used so two's-complement values compare on a fixed word width.
+_ACC_BITS = 32
+
+
+@dataclass(frozen=True)
+class ToggleCounts:
+    """Bit toggles observed per net class over a layer evaluation."""
+
+    input_bus: int
+    bank_outputs: int
+    products: int
+    accumulators: int
+
+    @property
+    def total(self) -> int:
+        return (self.input_bus + self.bank_outputs + self.products
+                + self.accumulators)
+
+
+@dataclass(frozen=True)
+class LayerTrace:
+    """Result of simulating one layer on the CSHM cluster."""
+
+    name: str
+    cycles: int
+    macs: int
+    toggles: ToggleCounts
+    energy_nj: float
+    utilization: float          # busy lane-cycles / (cycles * units)
+
+
+class CycleAccurateEngine:
+    """Bit-toggle-level simulation of the 4-unit CSHM processing engine.
+
+    Parameters
+    ----------
+    bits:
+        Word width of inputs and weights.
+    alphabet_set:
+        ``None`` simulates the conventional-multiplier engine (products are
+        exact); otherwise weights must be on the ASM's supported grid (use
+        a :class:`~repro.asm.constraints.WeightConstrainer` first) — the
+        simulator remaps through the effective-weight table and will raise
+        on unsupported weights, exactly like the hardware.
+    units:
+        Lanes sharing the broadcast input and the bank.
+    """
+
+    #: energy per bit toggle per net class, in fJ (from the technology
+    #: model: register toggles cost a DFF switch, bus toggles a wire run,
+    #: combinational products an FA-dominated cone)
+    def __init__(self, bits: int, alphabet_set: AlphabetSet | None = None,
+                 units: int = 4, tech: TechnologyModel = IBM45) -> None:
+        if bits < 2:
+            raise ValueError("word width must be at least 2 bits")
+        if units < 1:
+            raise ValueError("need at least one MAC lane")
+        self.bits = bits
+        self.units = units
+        self.tech = tech
+        self.alphabet_set = alphabet_set
+        if alphabet_set is not None:
+            self._multiplier = AlphabetSetMultiplier(bits, alphabet_set,
+                                                     fallback="error")
+        else:
+            self._multiplier = None
+        self.energy_per_toggle_fj = {
+            "input_bus": tech.energy("WIRE_TRACK") * 30.0,  # ~30um of wire
+            "bank_outputs": tech.energy("FA") * 1.5,
+            "products": tech.energy("FA") * 2.5,
+            "accumulators": tech.energy("DFF"),
+        }
+
+    # ------------------------------------------------------------------
+    def _effective_weights(self, weights: np.ndarray) -> np.ndarray:
+        weights = np.asarray(weights, dtype=np.int64)
+        if self._multiplier is None:
+            return weights
+        table = self._multiplier.effective_weight_table()
+        offset = 1 << (self.bits - 1)
+        index = weights + offset
+        if index.size and (index.min() < 0 or index.max() >= len(table)):
+            raise OverflowError("weights outside the signed word range")
+        effective = table[index]
+        if (effective == AlphabetSetMultiplier._UNSUPPORTED).any():
+            raise ValueError(
+                "weights off the supported grid; constrain them first"
+            )
+        return effective
+
+    def _bank_values(self, x: int) -> np.ndarray:
+        if self.alphabet_set is None or self.alphabet_set.is_multiplierless:
+            return np.array([], dtype=np.int64)
+        return np.array([a * x for a in self.alphabet_set if a > 1],
+                        dtype=np.int64)
+
+    @staticmethod
+    def _toggles(previous: np.ndarray, current: np.ndarray) -> int:
+        mask = (1 << _ACC_BITS) - 1
+        flipped = (previous & mask) ^ (current & mask)
+        return int(popcount_array(flipped).sum())
+
+    # ------------------------------------------------------------------
+    def run_layer(self, weights: np.ndarray, inputs: np.ndarray,
+                  name: str = "layer") -> LayerTrace:
+        """Simulate one dense layer: ``weights`` is ``(fan_in, neurons)``
+        integers, ``inputs`` a length-``fan_in`` integer vector."""
+        weights = self._effective_weights(weights)
+        inputs = np.asarray(inputs, dtype=np.int64)
+        if weights.ndim != 2 or inputs.ndim != 1 \
+                or weights.shape[0] != inputs.shape[0]:
+            raise ValueError(
+                f"shape mismatch: weights {weights.shape}, "
+                f"inputs {inputs.shape}"
+            )
+        fan_in, neurons = weights.shape
+
+        cycles = 0
+        busy_lane_cycles = 0
+        toggles = dict.fromkeys(self.energy_per_toggle_fj, 0)
+        prev_input = np.zeros(1, dtype=np.int64)
+        prev_bank = self._bank_values(0)
+        prev_products = np.zeros(self.units, dtype=np.int64)
+        accumulators = np.zeros(self.units, dtype=np.int64)
+
+        for group_start in range(0, neurons, self.units):
+            group = weights[:, group_start:group_start + self.units]
+            lanes = group.shape[1]
+            accumulators[:] = 0
+            for t in range(fan_in):
+                x = int(inputs[t])
+                current_input = np.array([x], dtype=np.int64)
+                toggles["input_bus"] += self._toggles(prev_input,
+                                                      current_input)
+                prev_input = current_input
+
+                bank = self._bank_values(x)
+                if bank.size:
+                    toggles["bank_outputs"] += self._toggles(prev_bank, bank)
+                    prev_bank = bank
+
+                products = np.zeros(self.units, dtype=np.int64)
+                products[:lanes] = group[t] * x
+                toggles["products"] += self._toggles(prev_products, products)
+                prev_products = products
+
+                previous_acc = accumulators.copy()
+                accumulators = accumulators + products
+                toggles["accumulators"] += self._toggles(previous_acc,
+                                                         accumulators)
+                cycles += 1
+                busy_lane_cycles += lanes
+
+        energy_fj = sum(toggles[key] * self.energy_per_toggle_fj[key]
+                        for key in toggles)
+        return LayerTrace(
+            name=name,
+            cycles=cycles,
+            macs=fan_in * neurons,
+            toggles=ToggleCounts(
+                input_bus=toggles["input_bus"],
+                bank_outputs=toggles["bank_outputs"],
+                products=toggles["products"],
+                accumulators=toggles["accumulators"],
+            ),
+            energy_nj=energy_fj * 1e-6,
+            utilization=busy_lane_cycles / (cycles * self.units)
+            if cycles else 0.0,
+        )

@@ -1,0 +1,159 @@
+"""Activation functions for the numpy NN substrate.
+
+The paper's networks use soft-limiting neurons (§II); we provide the classic
+set.  Each activation is a small stateless object with ``forward`` and
+``derivative`` (as a function of the *pre-activation* input), so layers can
+run backprop without storing framework graphs.
+
+:class:`SigmoidLUT` is the hardware view: the quantised inference engine
+looks the sigmoid up in a ``2**input_bits``-entry ROM exactly like the
+:class:`repro.hardware.components.ActivationLUT` it is costed as.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["Activation", "Identity", "Sigmoid", "Tanh", "ReLU",
+           "SigmoidLUT", "softmax", "get_activation"]
+
+
+class Activation:
+    """Base class: subclasses implement ``forward`` and ``derivative``."""
+
+    name = "base"
+
+    def forward(self, z: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def derivative(self, z: np.ndarray) -> np.ndarray:
+        """d forward / d z evaluated elementwise at *z*."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<{type(self).__name__}>"
+
+
+class Identity(Activation):
+    """Linear pass-through (used before a fused softmax/cross-entropy)."""
+
+    name = "identity"
+
+    def forward(self, z: np.ndarray) -> np.ndarray:
+        return z
+
+    def derivative(self, z: np.ndarray) -> np.ndarray:
+        return np.ones_like(z)
+
+
+class Sigmoid(Activation):
+    """Logistic sigmoid, the paper's soft-limiting neuron."""
+
+    name = "sigmoid"
+
+    def forward(self, z: np.ndarray) -> np.ndarray:
+        # numerically stable split for positive/negative inputs
+        out = np.empty_like(z, dtype=np.float64)
+        positive = z >= 0
+        out[positive] = 1.0 / (1.0 + np.exp(-z[positive]))
+        ez = np.exp(z[~positive])
+        out[~positive] = ez / (1.0 + ez)
+        return out
+
+    def derivative(self, z: np.ndarray) -> np.ndarray:
+        s = self.forward(z)
+        return s * (1.0 - s)
+
+
+class Tanh(Activation):
+    """Hyperbolic tangent (classic LeNet nonlinearity)."""
+
+    name = "tanh"
+
+    def forward(self, z: np.ndarray) -> np.ndarray:
+        return np.tanh(z)
+
+    def derivative(self, z: np.ndarray) -> np.ndarray:
+        t = np.tanh(z)
+        return 1.0 - t * t
+
+
+class ReLU(Activation):
+    """Rectified linear unit."""
+
+    name = "relu"
+
+    def forward(self, z: np.ndarray) -> np.ndarray:
+        return np.maximum(z, 0.0)
+
+    def derivative(self, z: np.ndarray) -> np.ndarray:
+        return (z > 0).astype(np.float64)
+
+
+def softmax(z: np.ndarray) -> np.ndarray:
+    """Row-wise softmax with max-subtraction for stability."""
+    shifted = z - z.max(axis=-1, keepdims=True)
+    ez = np.exp(shifted)
+    return ez / ez.sum(axis=-1, keepdims=True)
+
+
+class SigmoidLUT:
+    """Fixed-point sigmoid lookup table (the hardware activation unit).
+
+    The accumulator value is clamped to ``[-clip, +clip)``, quantised to
+    ``input_bits`` and used to index a precomputed sigmoid table whose
+    entries are quantised to ``output_bits`` unsigned fractional codes.
+    """
+
+    def __init__(self, input_bits: int = 8, output_bits: int = 8,
+                 clip: float = 8.0) -> None:
+        if input_bits < 2 or output_bits < 1:
+            raise ValueError("invalid LUT geometry")
+        if clip <= 0:
+            raise ValueError("clip must be positive")
+        self.input_bits = input_bits
+        self.output_bits = output_bits
+        self.clip = clip
+        levels = 1 << input_bits
+        grid = (np.arange(levels) - levels // 2) * (2 * clip / levels)
+        out_scale = (1 << output_bits) - 1
+        self._table = np.round(Sigmoid().forward(grid) * out_scale)
+        self._out_scale = out_scale
+
+    def __call__(self, values: np.ndarray) -> np.ndarray:
+        """Map real accumulator *values* to quantised sigmoid outputs in
+        [0, 1] (on the ``1/(2**output_bits - 1)`` grid)."""
+        levels = 1 << self.input_bits
+        step = 2 * self.clip / levels
+        index = np.floor(np.asarray(values) / step) + levels // 2
+        index = np.clip(index, 0, levels - 1).astype(np.int64)
+        return self._table[index] / self._out_scale
+
+    @property
+    def table(self) -> np.ndarray:
+        """The raw ROM contents (integer codes)."""
+        return self._table.copy()
+
+
+_REGISTRY = {
+    "identity": Identity,
+    "sigmoid": Sigmoid,
+    "tanh": Tanh,
+    "relu": ReLU,
+}
+
+
+def get_activation(name: str | Activation) -> Activation:
+    """Resolve an activation by name (or pass an instance through).
+
+    >>> get_activation("sigmoid").name
+    'sigmoid'
+    """
+    if isinstance(name, Activation):
+        return name
+    try:
+        return _REGISTRY[name]()
+    except KeyError:
+        raise ValueError(
+            f"unknown activation {name!r}; choose from {sorted(_REGISTRY)}"
+        ) from None

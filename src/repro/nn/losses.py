@@ -1,0 +1,74 @@
+"""Loss functions: value plus gradient w.r.t. the network output."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.activations import softmax
+
+__all__ = ["Loss", "MSELoss", "CrossEntropyLoss", "get_loss"]
+
+
+class Loss:
+    """Base class; ``__call__`` returns ``(loss_value, grad_wrt_output)``."""
+
+    name = "base"
+
+    def __call__(self, outputs: np.ndarray,
+                 targets: np.ndarray) -> tuple[float, np.ndarray]:
+        raise NotImplementedError
+
+    @staticmethod
+    def _check(outputs: np.ndarray, targets: np.ndarray) -> None:
+        if outputs.shape != targets.shape:
+            raise ValueError(
+                f"outputs {outputs.shape} and targets {targets.shape} differ"
+            )
+
+
+class MSELoss(Loss):
+    """Mean squared error over the batch (classic backprop training)."""
+
+    name = "mse"
+
+    def __call__(self, outputs: np.ndarray,
+                 targets: np.ndarray) -> tuple[float, np.ndarray]:
+        self._check(outputs, targets)
+        batch = outputs.shape[0]
+        diff = outputs - targets
+        loss = float(np.sum(diff * diff) / (2 * batch))
+        return loss, diff / batch
+
+
+class CrossEntropyLoss(Loss):
+    """Softmax + cross-entropy, fused for a numerically clean gradient.
+
+    Expects raw (identity-activated) outputs from the final layer and
+    one-hot targets.
+    """
+
+    name = "cross_entropy"
+
+    def __call__(self, outputs: np.ndarray,
+                 targets: np.ndarray) -> tuple[float, np.ndarray]:
+        self._check(outputs, targets)
+        batch = outputs.shape[0]
+        probs = softmax(outputs)
+        eps = 1e-12
+        loss = float(-np.sum(targets * np.log(probs + eps)) / batch)
+        return loss, (probs - targets) / batch
+
+
+_REGISTRY = {"mse": MSELoss, "cross_entropy": CrossEntropyLoss}
+
+
+def get_loss(name: str | Loss) -> Loss:
+    """Resolve a loss by name (or pass an instance through)."""
+    if isinstance(name, Loss):
+        return name
+    try:
+        return _REGISTRY[name]()
+    except KeyError:
+        raise ValueError(
+            f"unknown loss {name!r}; choose from {sorted(_REGISTRY)}"
+        ) from None

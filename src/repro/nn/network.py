@@ -1,0 +1,157 @@
+"""Sequential network container.
+
+Holds an ordered list of layers, runs forward/backward passes, computes
+classification accuracy, snapshots/restores parameters (the restore point of
+Algorithm 2) and exports the compute topology the hardware engine costs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.hardware.engine import LayerWork, NetworkTopology
+from repro.nn.layers import Conv2D, Dense, Flatten, Layer, ScaledAvgPool2D
+
+__all__ = ["Sequential"]
+
+
+class Sequential:
+    """An ordered stack of layers forming a feedforward network.
+
+    ``input_spatial`` (e.g. ``(32, 32)``) must be given for networks whose
+    first compute layer is a convolution; it seeds the spatial-size tracking
+    used when exporting the hardware topology and counting neurons.
+    """
+
+    def __init__(self, layers: list[Layer], name: str = "network",
+                 input_spatial: tuple[int, int] | None = None) -> None:
+        if not layers:
+            raise ValueError("a network needs at least one layer")
+        self.layers = list(layers)
+        self.name = name
+        self.input_spatial = input_spatial
+
+    # ------------------------------------------------------------------
+    # inference / training passes
+    # ------------------------------------------------------------------
+    def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        for layer in self.layers:
+            x = layer.forward(x, training=training)
+        return x
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        for layer in reversed(self.layers):
+            grad = layer.backward(grad)
+        return grad
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Class index per sample (argmax over the output layer)."""
+        return np.argmax(self.forward(x, training=False), axis=1)
+
+    def accuracy(self, x: np.ndarray, labels: np.ndarray,
+                 batch_size: int = 512) -> float:
+        """Classification accuracy on ``(x, integer labels)``, batched so
+        large test sets do not blow up memory."""
+        if len(x) != len(labels):
+            raise ValueError("inputs and labels differ in length")
+        correct = 0
+        for start in range(0, len(x), batch_size):
+            stop = start + batch_size
+            correct += int(np.sum(self.predict(x[start:stop])
+                                  == labels[start:stop]))
+        return correct / len(x) if len(x) else 0.0
+
+    # ------------------------------------------------------------------
+    # parameter management
+    # ------------------------------------------------------------------
+    @property
+    def trainable_layers(self) -> list[Layer]:
+        return [layer for layer in self.layers if layer.is_trainable]
+
+    @property
+    def num_params(self) -> int:
+        """Trainable parameter count — Table IV's synapse totals."""
+        return sum(layer.num_params for layer in self.layers)
+
+    @property
+    def num_neurons(self) -> int:
+        """Neuron count as Table IV counts it (outputs of every compute
+        layer; input nodes excluded)."""
+        return self.topology().total_neurons
+
+    def state(self) -> list[dict[str, np.ndarray]]:
+        """Deep copy of all parameters (Algorithm 2's restore point)."""
+        return [layer.state() for layer in self.layers]
+
+    def load_state(self, state: list[dict[str, np.ndarray]]) -> None:
+        if len(state) != len(self.layers):
+            raise ValueError(
+                f"state has {len(state)} layers, network has "
+                f"{len(self.layers)}"
+            )
+        for layer, entry in zip(self.layers, state):
+            layer.load_state(entry)
+
+    def save(self, path: str) -> None:
+        """Serialise parameters to an ``.npz`` file."""
+        arrays = {}
+        for index, layer in enumerate(self.layers):
+            for key, value in layer.params.items():
+                arrays[f"{index}:{key}"] = value
+        np.savez(path, **arrays)
+
+    def load(self, path: str) -> None:
+        """Restore parameters written by :meth:`save`."""
+        with np.load(path) as data:
+            for index, layer in enumerate(self.layers):
+                for key in layer.params:
+                    layer.load_state({key: data[f"{index}:{key}"]})
+
+    # ------------------------------------------------------------------
+    # topology export for the hardware engine
+    # ------------------------------------------------------------------
+    def topology(self) -> NetworkTopology:
+        """Export compute demand for
+        :class:`repro.hardware.engine.ProcessingEngine`."""
+        works: list[LayerWork] = []
+        spatial = self.input_spatial
+        for layer in self.layers:
+            if isinstance(layer, Dense):
+                works.append(LayerWork(layer.name, layer.out_features,
+                                       layer.in_features))
+            elif isinstance(layer, Conv2D):
+                if spatial is None:
+                    raise ValueError(
+                        f"{layer.name}: construct the network with "
+                        f"input_spatial=(h, w) to export a conv topology"
+                    )
+                out_h = spatial[0] - layer.kernel + 1
+                out_w = spatial[1] - layer.kernel + 1
+                works.append(LayerWork(
+                    layer.name,
+                    layer.out_channels * out_h * out_w,
+                    layer.in_channels * layer.kernel * layer.kernel,
+                ))
+                spatial = (out_h, out_w)
+            elif isinstance(layer, ScaledAvgPool2D):
+                if spatial is None:
+                    raise ValueError(
+                        f"{layer.name}: construct the network with "
+                        f"input_spatial=(h, w) to export a pool topology"
+                    )
+                out_h = spatial[0] // layer.size
+                out_w = spatial[1] // layer.size
+                # one gain multiply per output (the averaging adds are
+                # folded into that MAC slot)
+                works.append(LayerWork(
+                    layer.name, layer.channels * out_h * out_w, 1))
+                spatial = (out_h, out_w)
+            elif isinstance(layer, Flatten):
+                continue
+        if not works:
+            raise ValueError("network has no compute layers")
+        return NetworkTopology(self.name, tuple(works))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        inner = ", ".join(layer.name for layer in self.layers)
+        return f"<Sequential {self.name}: {inner}>"

@@ -1,0 +1,84 @@
+"""Optimisers and learning-rate schedules for the trainer."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.network import Sequential
+
+__all__ = ["SGD", "StepDecay", "ConstantRate"]
+
+
+class ConstantRate:
+    """Learning rate that never changes."""
+
+    def __init__(self, rate: float) -> None:
+        if rate <= 0:
+            raise ValueError(f"learning rate must be positive, got {rate}")
+        self.rate = rate
+
+    def __call__(self, epoch: int) -> float:
+        return self.rate
+
+
+class StepDecay:
+    """Multiply the rate by *factor* every *every* epochs."""
+
+    def __init__(self, rate: float, factor: float = 0.5,
+                 every: int = 10) -> None:
+        if rate <= 0 or not 0 < factor <= 1 or every < 1:
+            raise ValueError("invalid step-decay parameters")
+        self.rate = rate
+        self.factor = factor
+        self.every = every
+
+    def __call__(self, epoch: int) -> float:
+        return self.rate * self.factor ** (epoch // self.every)
+
+
+class SGD:
+    """Stochastic gradient descent with classical momentum.
+
+    ``step`` reads each trainable layer's ``grads`` (filled by the last
+    backward pass) and updates its ``params`` in place.
+    """
+
+    def __init__(self, network: Sequential, learning_rate: float = 0.1,
+                 momentum: float = 0.9,
+                 schedule: ConstantRate | StepDecay | None = None) -> None:
+        if not 0 <= momentum < 1:
+            raise ValueError(f"momentum must be in [0, 1), got {momentum}")
+        self.network = network
+        self.schedule = schedule or ConstantRate(learning_rate)
+        self.momentum = momentum
+        self.epoch = 0
+        self._velocity: dict[tuple[int, str], np.ndarray] = {}
+
+    @property
+    def learning_rate(self) -> float:
+        return self.schedule(self.epoch)
+
+    def set_epoch(self, epoch: int) -> None:
+        if epoch < 0:
+            raise ValueError("epoch must be non-negative")
+        self.epoch = epoch
+
+    def step(self) -> None:
+        """Apply one update from the gradients of the last backward pass."""
+        rate = self.learning_rate
+        for index, layer in enumerate(self.network.layers):
+            if not layer.is_trainable:
+                continue
+            for key, grad in layer.grads.items():
+                slot = (index, key)
+                velocity = self._velocity.get(slot)
+                if velocity is None:
+                    velocity = np.zeros_like(grad)
+                velocity = self.momentum * velocity - rate * grad
+                self._velocity[slot] = velocity
+                layer.params[key] = layer.params[key] + velocity
+
+    def reset(self) -> None:
+        """Clear momentum state (used when restarting from a restore point)."""
+        self._velocity.clear()
+        self.epoch = 0

@@ -1,0 +1,294 @@
+"""Bit-accurate quantised inference with conventional or ASM multipliers.
+
+This is the software twin of the paper's Verilog processing engine: synapse
+weights live on an integer grid with a per-layer power-of-two scale,
+activations are quantised between layers, accumulation is exact integer
+arithmetic, and the multiplier is either exact (conventional) or an
+:class:`~repro.asm.multiplier.AlphabetSetMultiplier` — whose effect reduces
+to remapping each integer weight to the *effective weight* the select/shift/
+add datapath realises.
+
+Because constrain-then-multiply is exact (tested in
+``tests/test_multiplier.py``), a network retrained under weight constraints
+loses **nothing further** when deployed on the ASM engine; an unconstrained
+network deployed with a reduced alphabet set degrades according to the
+multiplier's fallback policy.  Both paths are exposed so the retraining
+ablation can measure the difference.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.asm.alphabet import AlphabetSet
+from repro.asm.constraints import WeightConstrainer
+from repro.asm.multiplier import AlphabetSetMultiplier
+from repro.fixedpoint.qformat import QFormat, qformat_for_range
+from repro.nn.activations import Activation, SigmoidLUT
+from repro.nn.conv_utils import conv_output_size, im2col
+from repro.nn.layers import Conv2D, Dense, Flatten, ScaledAvgPool2D
+from repro.nn.network import Sequential
+
+__all__ = ["QuantizedNetwork", "QuantizationSpec"]
+
+
+class QuantizationSpec:
+    """How to quantise a float network for the processing engine.
+
+    Parameters
+    ----------
+    bits:
+        Word width for weights and activations (8 or 12 in the paper).
+    alphabet_set:
+        ``None`` → conventional multiplier.  Otherwise the ASM's alphabet
+        set; combine with ``constrainer`` for constrained-retrained weights
+        or ``fallback`` for post-hoc deployment.
+    constrainer:
+        Optional :class:`WeightConstrainer` applied to the integer weights
+        (Algorithm 1) before they reach the multiplier.
+    fallback:
+        ASM control-logic policy for unsupported quartets (see
+        :mod:`repro.asm.multiplier`).
+    """
+
+    def __init__(self, bits: int, alphabet_set: AlphabetSet | None = None,
+                 constrainer: WeightConstrainer | None = None,
+                 fallback: str = "error") -> None:
+        self.bits = bits
+        self.alphabet_set = alphabet_set
+        self.constrainer = constrainer
+        self.fallback = fallback
+        if constrainer is not None and constrainer.bits != bits:
+            raise ValueError(
+                f"constrainer is {constrainer.bits}-bit, spec is {bits}-bit"
+            )
+        if alphabet_set is not None:
+            self._multiplier = AlphabetSetMultiplier(
+                bits, alphabet_set, fallback=fallback)
+        else:
+            self._multiplier = None
+
+    # ------------------------------------------------------------------
+    def quantize_weights(self, weights: np.ndarray,
+                         ) -> tuple[np.ndarray, QFormat]:
+        """Float weights → (deployed integer weights, their Q-format).
+
+        Pipeline: power-of-two scale → round to grid → optional Algorithm-1
+        constraining → ASM effective-weight remap.
+        """
+        max_abs = float(np.max(np.abs(weights))) if weights.size else 1.0
+        fmt = qformat_for_range(self.bits, max(max_abs, 1e-12))
+        ints = fmt.quantize_array(weights)
+        if self.constrainer is not None:
+            ints = self.constrainer.constrain_array(ints)
+        if self._multiplier is not None:
+            table = self._multiplier.effective_weight_table()
+            ints = table[ints + (1 << (self.bits - 1))]
+            unsupported = ints == AlphabetSetMultiplier._UNSUPPORTED
+            if unsupported.any():
+                from repro.asm.decompose import UnsupportedQuartetError
+
+                bad = int(fmt.quantize_array(weights)[unsupported].flat[0])
+                raise UnsupportedQuartetError(abs(bad),
+                                              self._multiplier.alphabet_set)
+        return ints, fmt
+
+    @property
+    def label(self) -> str:
+        base = f"{self.bits}b"
+        if self.alphabet_set is None:
+            return f"{base}-conventional"
+        suffix = "-constrained" if self.constrainer is not None else \
+            f"-{self.fallback}"
+        return f"{base}-asm{len(self.alphabet_set)}{suffix}"
+
+
+class _QuantLayer:
+    """Base for the quantised layer stack."""
+
+    def forward(self, x_int: np.ndarray, x_fmt: QFormat,
+                ) -> tuple[np.ndarray, QFormat]:
+        raise NotImplementedError
+
+
+def _requantize(real_values: np.ndarray, activation: Activation | None,
+                act_fmt: QFormat,
+                lut: SigmoidLUT | None) -> np.ndarray:
+    """Apply the activation to real pre-activations and quantise."""
+    if lut is not None:
+        activated = lut(real_values)
+    elif activation is not None:
+        activated = activation.forward(real_values)
+    else:
+        activated = real_values
+    return act_fmt.quantize_array(activated)
+
+
+class _QuantDense(_QuantLayer):
+    def __init__(self, layer: Dense, spec: QuantizationSpec,
+                 act_fmt: QFormat, lut: SigmoidLUT | None) -> None:
+        self.w_int, self.w_fmt = spec.quantize_weights(layer.params["W"])
+        self.bias = layer.params["b"].copy()
+        self.activation = layer.activation
+        self.act_fmt = act_fmt
+        self.lut = lut if layer.activation.name == "sigmoid" else None
+        self.is_output = False  # set by QuantizedNetwork
+
+    def forward(self, x_int: np.ndarray, x_fmt: QFormat):
+        acc = x_int @ self.w_int                       # exact integer MACs
+        scale = x_fmt.resolution * self.w_fmt.resolution
+        real = acc.astype(np.float64) * scale + self.bias
+        if self.is_output:
+            return real, None  # raw scores for argmax
+        return _requantize(real, self.activation, self.act_fmt,
+                           self.lut), self.act_fmt
+
+
+class _QuantConv(_QuantLayer):
+    def __init__(self, layer: Conv2D, spec: QuantizationSpec,
+                 act_fmt: QFormat, lut: SigmoidLUT | None) -> None:
+        self.w_int, self.w_fmt = spec.quantize_weights(layer.params["W"])
+        self.bias = layer.params["b"].copy()
+        self.kernel = layer.kernel
+        self.out_channels = layer.out_channels
+        self.activation = layer.activation
+        self.act_fmt = act_fmt
+        self.lut = lut if layer.activation.name == "sigmoid" else None
+
+    def forward(self, x_int: np.ndarray, x_fmt: QFormat):
+        batch, _, height, width = x_int.shape
+        out_h = conv_output_size(height, self.kernel)
+        out_w = conv_output_size(width, self.kernel)
+        cols = im2col(x_int, self.kernel)
+        kernels = self.w_int.reshape(self.out_channels, -1)
+        acc = cols @ kernels.T                         # (b, p, oc), integer
+        scale = x_fmt.resolution * self.w_fmt.resolution
+        real = acc.astype(np.float64) * scale + self.bias
+        real = real.transpose(0, 2, 1).reshape(
+            batch, self.out_channels, out_h, out_w)
+        return _requantize(real, self.activation, self.act_fmt,
+                           self.lut), self.act_fmt
+
+
+class _QuantPool(_QuantLayer):
+    def __init__(self, layer: ScaledAvgPool2D, spec: QuantizationSpec,
+                 act_fmt: QFormat, lut: SigmoidLUT | None) -> None:
+        self.gain_int, self.gain_fmt = spec.quantize_weights(
+            layer.params["gain"])
+        self.bias = layer.params["bias"].copy()
+        self.size = layer.size
+        self.activation = layer.activation
+        self.act_fmt = act_fmt
+        self.lut = lut if layer.activation.name == "sigmoid" else None
+
+    def forward(self, x_int: np.ndarray, x_fmt: QFormat):
+        batch, channels, height, width = x_int.shape
+        s = self.size
+        sums = x_int.reshape(batch, channels, height // s, s,
+                             width // s, s).sum(axis=(3, 5))
+        acc = sums * self.gain_int[:, None, None]      # integer multiply
+        scale = x_fmt.resolution * self.gain_fmt.resolution / (s * s)
+        real = acc.astype(np.float64) * scale \
+            + self.bias[:, None, None]
+        return _requantize(real, self.activation, self.act_fmt,
+                           self.lut), self.act_fmt
+
+
+class _QuantFlatten(_QuantLayer):
+    def forward(self, x_int: np.ndarray, x_fmt: QFormat):
+        return x_int.reshape(x_int.shape[0], -1), x_fmt
+
+
+class QuantizedNetwork:
+    """A float :class:`Sequential` lowered onto the integer engine.
+
+    Use :meth:`from_float`; inputs to :meth:`predict`/:meth:`accuracy` are
+    the *float* arrays — they are quantised to the activation format on
+    entry, exactly as the engine's input interface would.
+    """
+
+    def __init__(self, layers: list[_QuantLayer], act_fmt: QFormat,
+                 spec: QuantizationSpec) -> None:
+        self.layers = layers
+        self.act_fmt = act_fmt
+        self.spec = spec
+
+    @classmethod
+    def from_float(cls, network: Sequential, spec: QuantizationSpec,
+                   use_lut: bool = False,
+                   layer_specs: list[QuantizationSpec] | None = None,
+                   ) -> "QuantizedNetwork":
+        """Lower *network* under *spec*.
+
+        ``use_lut=True`` routes sigmoid activations through the hardware
+        :class:`SigmoidLUT` instead of the float sigmoid + rounding.
+
+        ``layer_specs`` optionally overrides the spec per *parameterised*
+        layer (Dense/Conv/Pool, in network order) — the mixed-alphabet
+        deployment of the paper's §VI.E.  All specs must share ``bits``.
+        """
+        act_fmt = QFormat(spec.bits, spec.bits - 1)  # activations in [-1, 1)
+        lut = SigmoidLUT(output_bits=spec.bits - 1) if use_lut else None
+        param_layers = [layer for layer in network.layers
+                        if isinstance(layer, (Dense, Conv2D, ScaledAvgPool2D))]
+        if layer_specs is not None:
+            if len(layer_specs) != len(param_layers):
+                raise ValueError(
+                    f"{len(layer_specs)} layer specs for "
+                    f"{len(param_layers)} parameterised layers"
+                )
+            if any(s.bits != spec.bits for s in layer_specs):
+                raise ValueError("all layer specs must share the word width")
+        spec_iter = iter(layer_specs or [])
+
+        def next_spec() -> QuantizationSpec:
+            return next(spec_iter) if layer_specs is not None else spec
+
+        layers: list[_QuantLayer] = []
+        for layer in network.layers:
+            if isinstance(layer, Dense):
+                layers.append(_QuantDense(layer, next_spec(), act_fmt, lut))
+            elif isinstance(layer, Conv2D):
+                layers.append(_QuantConv(layer, next_spec(), act_fmt, lut))
+            elif isinstance(layer, ScaledAvgPool2D):
+                layers.append(_QuantPool(layer, next_spec(), act_fmt, lut))
+            elif isinstance(layer, Flatten):
+                layers.append(_QuantFlatten())
+            else:
+                raise TypeError(
+                    f"cannot quantise layer type {type(layer).__name__}"
+                )
+        dense_like = [q for q in layers
+                      if isinstance(q, (_QuantDense,))]
+        if dense_like:
+            dense_like[-1].is_output = True
+        return cls(layers, act_fmt, spec)
+
+    # ------------------------------------------------------------------
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """Raw output scores for a float input batch."""
+        x_int = self.act_fmt.quantize_array(x)
+        fmt = self.act_fmt
+        for layer in self.layers:
+            x_int, fmt = layer.forward(x_int, fmt)
+        return x_int  # final dense returns real scores
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        return np.argmax(self.forward(x), axis=1)
+
+    def accuracy(self, x: np.ndarray, labels: np.ndarray,
+                 batch_size: int = 512) -> float:
+        if len(x) != len(labels):
+            raise ValueError("inputs and labels differ in length")
+        correct = 0
+        for start in range(0, len(x), batch_size):
+            stop = start + batch_size
+            correct += int(np.sum(self.predict(x[start:stop])
+                                  == labels[start:stop]))
+        return correct / len(x) if len(x) else 0.0
+
+    @property
+    def weight_layers(self) -> list[_QuantLayer]:
+        """Quantised layers that carry a synapse matrix."""
+        return [q for q in self.layers
+                if isinstance(q, (_QuantDense, _QuantConv))]

@@ -1,0 +1,17 @@
+"""Verilog RTL generation for the ASM/MAN/conventional MAC datapaths."""
+
+from repro.rtl.generator import (
+    generate_asm_mac,
+    generate_conventional_mac,
+    generate_precompute_bank,
+    module_name,
+)
+from repro.rtl.interpreter import evaluate_mac_product
+
+__all__ = [
+    "generate_asm_mac",
+    "generate_conventional_mac",
+    "generate_precompute_bank",
+    "module_name",
+    "evaluate_mac_product",
+]

@@ -1,0 +1,25 @@
+"""Constrained retraining, Algorithm-2 methodology and mixed plans."""
+
+from repro.training.constrained import (
+    ConstraintProjector,
+    constrained_trainer,
+    weight_param_name,
+)
+from repro.training.methodology import (
+    DesignMethodology,
+    MethodologyResult,
+    StageResult,
+)
+from repro.training.mixed import (
+    MixedPlanResult,
+    build_mixed_plan,
+    evaluate_plan,
+    retrain_with_plan,
+)
+
+__all__ = [
+    "ConstraintProjector", "constrained_trainer", "weight_param_name",
+    "DesignMethodology", "MethodologyResult", "StageResult",
+    "MixedPlanResult", "build_mixed_plan", "evaluate_plan",
+    "retrain_with_plan",
+]

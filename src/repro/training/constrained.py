@@ -1,0 +1,131 @@
+"""Constrained (re)training: projected SGD under quartet constraints.
+
+The paper "imposes restrictions on the weight update" during retraining so
+that unsupported quartet values never occur.  The differentiable-training
+analogue is projection: after every optimiser step each synapse matrix is
+quantised to its per-layer power-of-two grid, pushed onto the alphabet-
+supported quartet grid by Algorithm 1, and dequantised back to float.
+Biases are left unconstrained — the engine adds them in the accumulator;
+they never pass through the multiplier.
+
+:class:`ConstraintProjector` also supports a *per-layer* alphabet plan
+(the paper's §VI.E mixed networks): pass one alphabet set (or ``None`` for
+an unconstrained layer) per parameterised layer.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.asm.alphabet import AlphabetSet
+from repro.asm.constraints import WeightConstrainer
+from repro.fixedpoint.qformat import qformat_for_range
+from repro.nn.layers import Conv2D, Dense, ScaledAvgPool2D
+from repro.nn.network import Sequential
+from repro.nn.optim import SGD
+from repro.nn.trainer import Trainer
+
+__all__ = ["ConstraintProjector", "constrained_trainer", "weight_param_name"]
+
+#: Which parameter of each layer type passes through the multiplier.
+_WEIGHT_PARAMS = {Dense: "W", Conv2D: "W", ScaledAvgPool2D: "gain"}
+
+
+def weight_param_name(layer) -> str | None:
+    """Name of the multiplier-facing parameter of *layer*, if any."""
+    for cls, param in _WEIGHT_PARAMS.items():
+        if isinstance(layer, cls):
+            return param
+    return None
+
+
+class ConstraintProjector:
+    """Projects a network's weights onto alphabet-supported grids.
+
+    Parameters
+    ----------
+    network:
+        The network being trained.
+    bits:
+        Weight word width (8/12).
+    alphabet_set:
+        Single set applied to every parameterised layer, or ``None``
+        combined with ``layer_plan``.
+    layer_plan:
+        Optional per-layer alphabet sets (``None`` entries leave that layer
+        unconstrained), aligned with the network's parameterised layers.
+    mode:
+        Constraint rounding mode (``"greedy"`` = Algorithm 1, or
+        ``"nearest"``).
+    """
+
+    def __init__(self, network: Sequential, bits: int,
+                 alphabet_set: AlphabetSet | None = None,
+                 layer_plan: list[AlphabetSet | None] | None = None,
+                 mode: str = "greedy") -> None:
+        self.network = network
+        self.bits = bits
+        self.mode = mode
+        param_layers = [layer for layer in network.layers
+                        if weight_param_name(layer) is not None]
+        if layer_plan is None:
+            if alphabet_set is None:
+                raise ValueError("pass alphabet_set or layer_plan")
+            layer_plan = [alphabet_set] * len(param_layers)
+        if len(layer_plan) != len(param_layers):
+            raise ValueError(
+                f"plan covers {len(layer_plan)} layers, network has "
+                f"{len(param_layers)} parameterised layers"
+            )
+        self.layer_plan = list(layer_plan)
+        self._targets = []
+        constrainer_cache: dict[tuple[int, ...], WeightConstrainer] = {}
+        for layer, aset in zip(param_layers, layer_plan):
+            if aset is None:
+                continue
+            key = aset.alphabets
+            if key not in constrainer_cache:
+                constrainer_cache[key] = WeightConstrainer(
+                    bits, aset, mode=mode)
+            self._targets.append(
+                (layer, weight_param_name(layer), constrainer_cache[key]))
+
+    # ------------------------------------------------------------------
+    def project(self) -> None:
+        """Snap every constrained weight tensor onto its supported grid."""
+        for layer, param, constrainer in self._targets:
+            weights = layer.params[param]
+            max_abs = float(np.max(np.abs(weights))) if weights.size else 1.0
+            fmt = qformat_for_range(self.bits, max(max_abs, 1e-12))
+            ints = constrainer.constrain_array(fmt.quantize_array(weights))
+            layer.params[param] = fmt.to_float_array(ints).reshape(
+                weights.shape)
+
+    __call__ = project
+
+    @property
+    def num_constrained_layers(self) -> int:
+        return len(self._targets)
+
+    def violations(self) -> int:
+        """Count weights currently off their supported grid (0 right after
+        a projection — the invariant the tests check)."""
+        total = 0
+        for layer, param, constrainer in self._targets:
+            weights = layer.params[param]
+            max_abs = float(np.max(np.abs(weights))) if weights.size else 1.0
+            fmt = qformat_for_range(self.bits, max(max_abs, 1e-12))
+            ints = fmt.quantize_array(weights)
+            total += int(np.count_nonzero(
+                constrainer.constrain_array(ints) != ints))
+        return total
+
+
+def constrained_trainer(network: Sequential, optimizer: SGD,
+                        projector: ConstraintProjector,
+                        **trainer_kwargs) -> Trainer:
+    """A :class:`Trainer` that projects after every optimiser step and once
+    up front (so training starts from a feasible point)."""
+    projector.project()
+    return Trainer(network, optimizer, post_step=projector.project,
+                   **trainer_kwargs)

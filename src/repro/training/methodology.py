@@ -1,0 +1,174 @@
+"""Algorithm 2: the NN training and testing design methodology.
+
+1. Train the network unconstrained until accuracy saturates.
+2. Measure the baseline accuracy ``J`` (through the quantised engine with a
+   conventional multiplier) and create a restore point.
+3. Retrain from the restore point with the smallest alphabet count at a
+   lower learning rate, until saturation.
+4. Measure the retrained accuracy ``K`` through the ASM engine.  Accept if
+   ``K >= J * Q``; otherwise restart from the restore point with the next
+   larger alphabet set.
+
+The ladder defaults to the paper's 1 → 2 → 4 → 8 alphabet escalation; the
+8-alphabet set is exact, so the procedure always terminates with a feasible
+design (worst case: zero approximation, zero energy benefit).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.asm.alphabet import AlphabetSet, standard_set
+from repro.asm.constraints import WeightConstrainer
+from repro.datasets.base import Dataset
+from repro.nn.network import Sequential
+from repro.nn.optim import SGD
+from repro.nn.quantized import QuantizationSpec, QuantizedNetwork
+from repro.nn.trainer import TrainHistory, Trainer
+from repro.training.constrained import ConstraintProjector, constrained_trainer
+
+__all__ = ["StageResult", "MethodologyResult", "DesignMethodology"]
+
+
+@dataclass(frozen=True)
+class StageResult:
+    """Outcome of one retraining stage of Algorithm 2."""
+
+    num_alphabets: int
+    alphabet_set: AlphabetSet
+    accuracy: float
+    epochs: int
+    accepted: bool
+
+
+@dataclass
+class MethodologyResult:
+    """Full record of an Algorithm 2 run."""
+
+    float_accuracy: float
+    baseline_accuracy: float          # J: quantised conventional engine
+    quality: float
+    stages: list[StageResult] = field(default_factory=list)
+
+    @property
+    def final_stage(self) -> StageResult:
+        if not self.stages:
+            raise ValueError("methodology ran no stages")
+        return self.stages[-1]
+
+    @property
+    def succeeded(self) -> bool:
+        return bool(self.stages) and self.stages[-1].accepted
+
+    @property
+    def chosen_alphabets(self) -> int:
+        return self.final_stage.num_alphabets
+
+    @property
+    def accuracy_loss(self) -> float:
+        """Accuracy loss vs the conventional baseline, in fractional points
+        (the paper's 'Accuracy Loss (%)' divided by 100)."""
+        return self.baseline_accuracy - self.final_stage.accuracy
+
+
+class DesignMethodology:
+    """Drives Algorithm 2 end to end for one benchmark.
+
+    Parameters mirror the paper: ``quality`` is the constraint ``Q <= 1``;
+    ``ladder`` the alphabet counts tried in order; ``retrain_lr_scale`` the
+    "lower learning rate" of step 3.
+    """
+
+    def __init__(self, bits: int, quality: float = 0.99,
+                 ladder: tuple[int, ...] = (1, 2, 4, 8),
+                 base_learning_rate: float = 0.3,
+                 retrain_lr_scale: float = 0.25,
+                 batch_size: int = 32,
+                 patience: int = 3,
+                 constraint_mode: str = "greedy",
+                 seed: int = 0) -> None:
+        if not 0 < quality <= 1:
+            raise ValueError(f"quality must be in (0, 1], got {quality}")
+        if not ladder:
+            raise ValueError("ladder must not be empty")
+        self.bits = bits
+        self.quality = quality
+        self.ladder = tuple(ladder)
+        self.base_learning_rate = base_learning_rate
+        self.retrain_lr_scale = retrain_lr_scale
+        self.batch_size = batch_size
+        self.patience = patience
+        self.constraint_mode = constraint_mode
+        self.seed = seed
+
+    # ------------------------------------------------------------------
+    def _engine_accuracy(self, network: Sequential, dataset: Dataset,
+                         x_test, alphabet_set: AlphabetSet | None) -> float:
+        """Accuracy through the bit-accurate engine."""
+        if alphabet_set is None:
+            spec = QuantizationSpec(self.bits)
+        else:
+            constrainer = WeightConstrainer(
+                self.bits, alphabet_set, mode=self.constraint_mode)
+            spec = QuantizationSpec(self.bits, alphabet_set,
+                                    constrainer=constrainer)
+        quantized = QuantizedNetwork.from_float(network, spec)
+        return quantized.accuracy(x_test, dataset.y_test)
+
+    def run(self, network: Sequential, dataset: Dataset,
+            max_epochs: int = 30, retrain_epochs: int = 15,
+            use_images: bool = False,
+            verbose: bool = False) -> MethodologyResult:
+        """Execute Algorithm 2 on *network* / *dataset*."""
+        x_train = dataset.x_train if use_images else dataset.flat_train
+        x_test = dataset.x_test if use_images else dataset.flat_test
+
+        # step 1: unconstrained training to saturation
+        optimizer = SGD(network, self.base_learning_rate)
+        trainer = Trainer(network, optimizer, batch_size=self.batch_size,
+                          patience=self.patience)
+        trainer.fit(x_train, dataset.y_train_onehot, x_test, dataset.y_test,
+                    max_epochs=max_epochs, verbose=verbose)
+
+        # step 2: baseline accuracy J and restore point
+        float_accuracy = network.accuracy(x_test, dataset.y_test)
+        baseline = self._engine_accuracy(network, dataset, x_test, None)
+        restore_point = network.state()
+        result = MethodologyResult(
+            float_accuracy=float_accuracy,
+            baseline_accuracy=baseline,
+            quality=self.quality,
+        )
+
+        # steps 3-4: escalate the alphabet count until K >= J * Q
+        for num_alphabets in self.ladder:
+            alphabet_set = standard_set(num_alphabets)
+            network.load_state(restore_point)
+            projector = ConstraintProjector(
+                network, self.bits, alphabet_set,
+                mode=self.constraint_mode)
+            optimizer = SGD(
+                network, self.base_learning_rate * self.retrain_lr_scale)
+            trainer = constrained_trainer(
+                network, optimizer, projector,
+                batch_size=self.batch_size, patience=self.patience)
+            history: TrainHistory = trainer.fit(
+                x_train, dataset.y_train_onehot, x_test, dataset.y_test,
+                max_epochs=retrain_epochs, verbose=verbose)
+            accuracy = self._engine_accuracy(
+                network, dataset, x_test, alphabet_set)
+            accepted = accuracy >= baseline * self.quality
+            result.stages.append(StageResult(
+                num_alphabets=num_alphabets,
+                alphabet_set=alphabet_set,
+                accuracy=accuracy,
+                epochs=history.epochs_run,
+                accepted=accepted,
+            ))
+            if verbose:  # pragma: no cover - console noise
+                print(f"alphabets={num_alphabets}: K={accuracy:.4f} "
+                      f"(J={baseline:.4f}, Q={self.quality}) "
+                      f"{'accepted' if accepted else 'rejected'}")
+            if accepted:
+                break
+        return result

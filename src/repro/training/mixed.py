@@ -1,0 +1,113 @@
+"""Mixed per-layer alphabet plans — the paper's §VI.E add-on technique.
+
+Small concluding layers matter more for the output and cost a tiny share of
+processing cycles, so they can afford more alphabets: 1-alphabet neurons in
+the early large layers, 2/4-alphabet neurons in the last one or two layers.
+This module builds such plans, retrains under them, and evaluates both the
+accuracy (bit-accurate engine) and the energy (CSHM engine with per-layer
+designs) — everything Fig. 11 plots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.asm.alphabet import ALPHA_1, AlphabetSet
+from repro.asm.constraints import WeightConstrainer
+from repro.datasets.base import Dataset
+from repro.hardware.engine import ProcessingEngine
+from repro.nn.network import Sequential
+from repro.nn.optim import SGD
+from repro.nn.quantized import QuantizationSpec, QuantizedNetwork
+from repro.training.constrained import (
+    ConstraintProjector,
+    constrained_trainer,
+    weight_param_name,
+)
+
+__all__ = ["build_mixed_plan", "MixedPlanResult", "evaluate_plan"]
+
+
+def build_mixed_plan(network: Sequential,
+                     final_sets: list[AlphabetSet],
+                     base_set: AlphabetSet = ALPHA_1,
+                     ) -> list[AlphabetSet]:
+    """§VI.E plan: ``base_set`` everywhere except the last ``len(final_sets)``
+    parameterised layers, which get *final_sets* in order.
+
+    For the paper's SVHN example: ``build_mixed_plan(net, [ALPHA_2, ALPHA_4])``
+    puts {1} on the first four layers, {1,3} on the penultimate and
+    {1,3,5,7} on the ultimate layer.
+    """
+    num_layers = sum(1 for layer in network.layers
+                     if weight_param_name(layer) is not None)
+    if len(final_sets) > num_layers:
+        raise ValueError(
+            f"{len(final_sets)} final sets for {num_layers} layers"
+        )
+    plan: list[AlphabetSet] = [base_set] * (num_layers - len(final_sets))
+    plan.extend(final_sets)
+    return plan
+
+
+@dataclass(frozen=True)
+class MixedPlanResult:
+    """Accuracy and energy of one (possibly mixed) deployment plan."""
+
+    label: str
+    accuracy: float
+    energy_nj: float
+    cycles: int
+
+    def normalized_energy(self, baseline: "MixedPlanResult") -> float:
+        return self.energy_nj / baseline.energy_nj
+
+
+def retrain_with_plan(network: Sequential, dataset: Dataset, bits: int,
+                      plan: list[AlphabetSet | None],
+                      learning_rate: float = 0.075,
+                      batch_size: int = 32, patience: int = 3,
+                      max_epochs: int = 15,
+                      use_images: bool = False,
+                      constraint_mode: str = "greedy") -> None:
+    """Constrained retraining of *network* under a per-layer plan."""
+    x_train = dataset.x_train if use_images else dataset.flat_train
+    x_test = dataset.x_test if use_images else dataset.flat_test
+    projector = ConstraintProjector(network, bits, layer_plan=plan,
+                                    mode=constraint_mode)
+    optimizer = SGD(network, learning_rate)
+    trainer = constrained_trainer(network, optimizer, projector,
+                                  batch_size=batch_size, patience=patience)
+    trainer.fit(x_train, dataset.y_train_onehot, x_test, dataset.y_test,
+                max_epochs=max_epochs)
+
+
+def evaluate_plan(network: Sequential, dataset: Dataset, bits: int,
+                  plan: list[AlphabetSet | None],
+                  label: str,
+                  use_images: bool = False,
+                  constraint_mode: str = "greedy") -> MixedPlanResult:
+    """Bit-accurate accuracy + engine energy of *network* under *plan*.
+
+    The network is assumed already (re)trained for the plan; pass a plan of
+    ``None`` entries to evaluate the conventional deployment.
+    """
+    x_test = dataset.x_test if use_images else dataset.flat_test
+    base_spec = QuantizationSpec(bits)
+    layer_specs = []
+    for aset in plan:
+        if aset is None:
+            layer_specs.append(QuantizationSpec(bits))
+        else:
+            layer_specs.append(QuantizationSpec(
+                bits, aset,
+                constrainer=WeightConstrainer(bits, aset,
+                                              mode=constraint_mode)))
+    quantized = QuantizedNetwork.from_float(network, base_spec,
+                                            layer_specs=layer_specs)
+    accuracy = quantized.accuracy(x_test, dataset.y_test)
+
+    engine = ProcessingEngine(bits)
+    report = engine.run(network.topology(), layer_alphabets=list(plan))
+    return MixedPlanResult(label=label, accuracy=accuracy,
+                           energy_nj=report.energy_nj, cycles=report.cycles)

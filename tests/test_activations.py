@@ -1,0 +1,130 @@
+"""Tests for activations and the hardware sigmoid LUT."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.nn.activations import (
+    Identity,
+    ReLU,
+    Sigmoid,
+    SigmoidLUT,
+    Tanh,
+    get_activation,
+    softmax,
+)
+
+FLOATS = arrays(np.float64, (13,), elements=st.floats(-30, 30))
+
+
+class TestSigmoid:
+    def test_midpoint(self):
+        assert Sigmoid().forward(np.array([0.0]))[0] == pytest.approx(0.5)
+
+    def test_limits(self):
+        s = Sigmoid().forward(np.array([-500.0, 500.0]))
+        assert s[0] == pytest.approx(0.0, abs=1e-12)
+        assert s[1] == pytest.approx(1.0, abs=1e-12)
+
+    def test_no_overflow_warnings(self):
+        with np.errstate(over="raise"):
+            Sigmoid().forward(np.array([-1000.0, 1000.0]))
+
+    @given(FLOATS)
+    def test_range(self, z):
+        s = Sigmoid().forward(z)
+        assert np.all((s >= 0) & (s <= 1))
+
+    @given(FLOATS)
+    def test_derivative_matches_finite_difference(self, z):
+        act = Sigmoid()
+        h = 1e-6
+        numeric = (act.forward(z + h) - act.forward(z - h)) / (2 * h)
+        np.testing.assert_allclose(act.derivative(z), numeric, atol=1e-5)
+
+
+class TestTanhReluIdentity:
+    @given(FLOATS)
+    def test_tanh_derivative(self, z):
+        act = Tanh()
+        h = 1e-6
+        numeric = (act.forward(z + h) - act.forward(z - h)) / (2 * h)
+        np.testing.assert_allclose(act.derivative(z), numeric, atol=1e-5)
+
+    def test_relu_forward(self):
+        out = ReLU().forward(np.array([-2.0, 0.0, 3.0]))
+        np.testing.assert_array_equal(out, [0.0, 0.0, 3.0])
+
+    def test_relu_derivative(self):
+        out = ReLU().derivative(np.array([-2.0, 0.5]))
+        np.testing.assert_array_equal(out, [0.0, 1.0])
+
+    def test_identity(self):
+        z = np.array([1.5, -2.0])
+        np.testing.assert_array_equal(Identity().forward(z), z)
+        np.testing.assert_array_equal(Identity().derivative(z), [1.0, 1.0])
+
+
+class TestSoftmax:
+    def test_rows_sum_to_one(self):
+        z = np.array([[1.0, 2.0, 3.0], [0.0, 0.0, 0.0]])
+        np.testing.assert_allclose(softmax(z).sum(axis=1), [1.0, 1.0])
+
+    def test_stability_with_large_values(self):
+        z = np.array([[1000.0, 1001.0]])
+        probs = softmax(z)
+        assert np.all(np.isfinite(probs))
+        assert probs[0, 1] > probs[0, 0]
+
+    @given(arrays(np.float64, (4, 6), elements=st.floats(-50, 50)))
+    def test_invariant_to_shift(self, z):
+        np.testing.assert_allclose(softmax(z), softmax(z + 7.0), atol=1e-12)
+
+
+class TestGetActivation:
+    def test_by_name(self):
+        assert get_activation("tanh").name == "tanh"
+
+    def test_passthrough_instance(self):
+        act = Sigmoid()
+        assert get_activation(act) is act
+
+    def test_unknown(self):
+        with pytest.raises(ValueError):
+            get_activation("swish9000")
+
+
+class TestSigmoidLUT:
+    def test_monotone(self):
+        lut = SigmoidLUT(input_bits=8, output_bits=8)
+        values = np.linspace(-10, 10, 201)
+        out = lut(values)
+        assert np.all(np.diff(out) >= 0)
+
+    def test_close_to_float_sigmoid(self):
+        lut = SigmoidLUT(input_bits=10, output_bits=10)
+        values = np.linspace(-6, 6, 101)
+        exact = Sigmoid().forward(values)
+        assert np.max(np.abs(lut(values) - exact)) < 0.02
+
+    def test_clamps_out_of_range(self):
+        lut = SigmoidLUT(input_bits=8, output_bits=8, clip=8.0)
+        assert lut(np.array([100.0]))[0] == pytest.approx(1.0, abs=0.01)
+        assert lut(np.array([-100.0]))[0] == pytest.approx(0.0, abs=0.01)
+
+    def test_output_grid(self):
+        lut = SigmoidLUT(input_bits=8, output_bits=4)
+        out = lut(np.linspace(-8, 8, 57))
+        codes = out * 15
+        np.testing.assert_allclose(codes, np.round(codes), atol=1e-9)
+
+    def test_table_size(self):
+        assert len(SigmoidLUT(input_bits=6).table) == 64
+
+    def test_invalid_geometry(self):
+        with pytest.raises(ValueError):
+            SigmoidLUT(input_bits=1)
+        with pytest.raises(ValueError):
+            SigmoidLUT(clip=0.0)

@@ -1,0 +1,173 @@
+"""Tests for alphabet sets — anchored on the paper's stated coverage facts."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.asm.alphabet import (
+    ALPHA_1,
+    ALPHA_2,
+    ALPHA_4,
+    ALPHA_8,
+    FULL_ALPHABETS,
+    STANDARD_SETS,
+    AlphabetSet,
+    standard_set,
+)
+
+
+class TestValidation:
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            AlphabetSet(())
+
+    def test_rejects_even(self):
+        with pytest.raises(ValueError):
+            AlphabetSet((2,))
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(ValueError):
+            AlphabetSet((3, 3))
+
+    def test_rejects_descending(self):
+        with pytest.raises(ValueError):
+            AlphabetSet((3, 1))
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            AlphabetSet((17,))
+        with pytest.raises(ValueError):
+            AlphabetSet((-1,))
+
+    def test_len_and_iter(self):
+        assert len(ALPHA_4) == 4
+        assert list(ALPHA_4) == [1, 3, 5, 7]
+
+    def test_contains(self):
+        assert 3 in ALPHA_2
+        assert 5 not in ALPHA_2
+
+    def test_str(self):
+        assert str(ALPHA_4) == "{1,3,5,7}"
+
+
+class TestPaperCoverageFacts:
+    """Each fact below is stated verbatim in the paper (§III / §IV.A)."""
+
+    def test_full_set_is_exact(self):
+        # "8 alphabets {1,3,5,7,9,11,13,15} are required for bit sequence
+        # size of 4 bits"
+        assert FULL_ALPHABETS.is_exact(width=4)
+        assert len(FULL_ALPHABETS.supported_values(4)) == 16
+
+    def test_four_alphabets_cover_12_of_16(self):
+        # "if we use 4 alphabets {1,3,5,7}, we can generate 12 (including 0)
+        # out of 16 possible combinations"
+        assert len(ALPHA_4.supported_values(4)) == 12
+
+    def test_four_alphabets_unsupported_set(self):
+        # "the unsupported bit quartet values are {9,11,13,15}"
+        assert sorted(ALPHA_4.unsupported_values(4)) == [9, 11, 13, 15]
+
+    def test_two_alphabets_cover_8_of_16(self):
+        # "If we use 2 alphabets {1,3} only, the maximum number of supported
+        # combinations out of the 16 is 8"
+        assert len(ALPHA_2.supported_values(4)) == 8
+
+    def test_two_alphabets_unsupported_q_r(self):
+        # "we cannot support ... 5, 7, 9, 10, 11, 13, 14, 15 for Q and R"
+        assert sorted(ALPHA_2.unsupported_values(4)) == [
+            5, 7, 9, 10, 11, 13, 14, 15]
+
+    def test_two_alphabets_unsupported_p(self):
+        # "we cannot support 5 and 7 for P" (3-bit MSB quartet)
+        assert sorted(ALPHA_2.unsupported_values(3)) == [5, 7]
+
+    def test_one_alphabet_supports_powers_of_two(self):
+        # MAN: "from 1 (0001) we get 2 (0010), 4 (0100) and 8 (1000)"
+        assert sorted(ALPHA_1.supported_values(4)) == [0, 1, 2, 4, 8]
+
+
+class TestSupportQueries:
+    def test_supports(self):
+        assert ALPHA_4.supports(10)      # 5 << 1
+        assert not ALPHA_4.supports(9)
+
+    def test_supports_rejects_out_of_width(self):
+        with pytest.raises(ValueError):
+            ALPHA_4.supports(16)
+
+    def test_zero_always_supported(self):
+        for aset in STANDARD_SETS.values():
+            assert aset.supports(0)
+
+    def test_coverage_fraction(self):
+        assert ALPHA_4.coverage(4) == pytest.approx(12 / 16)
+        assert ALPHA_2.coverage(4) == pytest.approx(8 / 16)
+
+    def test_is_multiplierless(self):
+        assert ALPHA_1.is_multiplierless
+        assert not ALPHA_2.is_multiplierless
+
+    def test_width_one(self):
+        assert ALPHA_1.supported_values(1) == frozenset({0, 1})
+
+    def test_rejects_bad_width(self):
+        with pytest.raises(ValueError):
+            ALPHA_1.supported_values(0)
+
+
+class TestStandardSets:
+    def test_ladder_contents(self):
+        assert standard_set(1) is ALPHA_1
+        assert standard_set(2) is ALPHA_2
+        assert standard_set(4) is ALPHA_4
+        assert standard_set(8) is ALPHA_8
+
+    def test_unknown_count(self):
+        with pytest.raises(ValueError):
+            standard_set(3)
+
+    def test_sizes(self):
+        for count, aset in STANDARD_SETS.items():
+            assert len(aset) == count
+
+
+@st.composite
+def alphabet_sets(draw):
+    members = draw(st.sets(
+        st.sampled_from([1, 3, 5, 7, 9, 11, 13, 15]), min_size=1, max_size=8))
+    return AlphabetSet(tuple(sorted(members)))
+
+
+class TestAlphabetProperties:
+    @given(alphabet_sets())
+    def test_supported_values_closed_under_double(self, aset):
+        """If v is supported and 2v fits the quartet, 2v is supported."""
+        supported = aset.supported_values(4)
+        for v in supported:
+            if 0 < 2 * v < 16:
+                assert 2 * v in supported
+
+    @given(alphabet_sets())
+    def test_every_supported_value_decomposes(self, aset):
+        supported = aset.supported_values(4)
+        for v in supported - {0}:
+            odd = v
+            while odd % 2 == 0:
+                odd //= 2
+            assert odd in aset
+
+    @given(alphabet_sets())
+    def test_monotone_in_alphabets(self, aset):
+        """Adding alphabets never shrinks the supported set."""
+        grown = frozenset(aset.alphabets) | {1}
+        bigger = AlphabetSet(tuple(sorted(grown)))
+        assert bigger.supported_values(4) >= aset.supported_values(4) or \
+            bigger.supported_values(4) == aset.supported_values(4)
+
+    @given(alphabet_sets(), st.integers(min_value=1, max_value=6))
+    def test_coverage_monotone_in_width_count(self, aset, width):
+        supported = aset.supported_values(width)
+        assert 0 in supported
+        assert all(0 <= v < (1 << width) for v in supported)

@@ -1,0 +1,139 @@
+"""Tests for quartet-usage analysis and layer sensitivity."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.quartets import (
+    QuartetUsage,
+    quartet_usage,
+    select_alphabets,
+    weighted_coverage,
+)
+from repro.analysis.sensitivity import layer_sensitivity
+from repro.asm.alphabet import ALPHA_1, ALPHA_2, ALPHA_4, FULL_ALPHABETS
+from repro.datasets import mlp, synthetic_mnist
+
+RNG = np.random.default_rng(23)
+
+
+class TestQuartetUsage:
+    def test_counts_sum(self):
+        weights = RNG.normal(scale=0.3, size=200)
+        usage = quartet_usage(weights, 8)
+        # 8-bit weights have 2 quartets each
+        assert sum(usage.counts) == 400
+        assert usage.num_weights == 200
+        assert usage.num_quartets == 2
+
+    def test_12bit_three_quartets(self):
+        usage = quartet_usage(RNG.normal(size=50), 12)
+        assert sum(usage.counts) == 150
+
+    def test_zero_weights_all_zero_quartets(self):
+        usage = quartet_usage(np.zeros(10), 8)
+        assert usage.counts[0] == 20
+        assert sum(usage.counts[1:]) == 0
+
+    def test_frequencies_sum_to_one(self):
+        usage = quartet_usage(RNG.normal(size=100), 8)
+        assert usage.frequencies.sum() == pytest.approx(1.0)
+
+    def test_supported_fraction_full_set(self):
+        usage = quartet_usage(RNG.normal(size=100), 8)
+        assert usage.supported_fraction(FULL_ALPHABETS) == 1.0
+
+    def test_supported_fraction_ordering(self):
+        usage = quartet_usage(RNG.normal(size=500), 8)
+        f1 = usage.supported_fraction(ALPHA_1)
+        f2 = usage.supported_fraction(ALPHA_2)
+        f4 = usage.supported_fraction(ALPHA_4)
+        assert f1 <= f2 <= f4 <= 1.0
+
+    def test_weighted_coverage_alias(self):
+        usage = quartet_usage(RNG.normal(size=100), 8)
+        assert weighted_coverage(usage, ALPHA_2) == \
+            usage.supported_fraction(ALPHA_2)
+
+
+class TestSelectAlphabets:
+    def test_full_selection_covers_everything(self):
+        usage = quartet_usage(RNG.normal(size=300), 8)
+        chosen = select_alphabets(usage, 8)
+        assert weighted_coverage(usage, chosen) == 1.0
+
+    def test_k1_on_power_of_two_weights(self):
+        # weights whose quartets are all powers of two -> {1} is optimal
+        weights = np.array([1, 2, 4, 8, 16, 32, 64]) / 128.0
+        usage = quartet_usage(weights, 8)
+        chosen = select_alphabets(usage, 1)
+        assert chosen.alphabets == (1,)
+        assert weighted_coverage(usage, chosen) == 1.0
+
+    def test_biased_distribution_picks_dominant_alphabet(self):
+        counts = [0] * 16
+        counts[0] = 5
+        counts[5] = 50      # heavy use of quartet value 5
+        counts[10] = 30     # 10 = 5 << 1, same alphabet
+        usage = QuartetUsage(counts=tuple(counts), num_weights=40,
+                             num_quartets=2)
+        chosen = select_alphabets(usage, 1)
+        assert chosen.alphabets == (5,)
+
+    def test_selection_at_least_as_good_as_paper_ladder(self):
+        """For any weight distribution the data-driven set covers at least
+        as much as the paper's same-size default."""
+        for scale in (0.05, 0.3, 1.0):
+            usage = quartet_usage(RNG.normal(scale=scale, size=400), 8)
+            for k, default in ((1, ALPHA_1), (2, ALPHA_2), (4, ALPHA_4)):
+                chosen = select_alphabets(usage, k)
+                assert weighted_coverage(usage, chosen) >= \
+                    weighted_coverage(usage, default) - 1e-12
+
+    def test_invalid_k(self):
+        usage = quartet_usage(RNG.normal(size=10), 8)
+        with pytest.raises(ValueError):
+            select_alphabets(usage, 0)
+        with pytest.raises(ValueError):
+            select_alphabets(usage, 9)
+
+
+class TestLayerSensitivity:
+    @pytest.fixture(scope="class")
+    def trained(self):
+        from repro.nn import SGD, Trainer
+        data = synthetic_mnist(n_train=400, n_test=200, seed=0)
+        model = mlp([1024, 32, 10], seed=4)
+        trainer = Trainer(model, SGD(model, 0.3), batch_size=32, patience=2)
+        trainer.fit(data.flat_train, data.y_train_onehot, data.flat_test,
+                    data.y_test, max_epochs=8)
+        return model, data
+
+    def test_one_entry_per_layer(self, trained):
+        model, data = trained
+        results = layer_sensitivity(model, data.flat_test, data.y_test,
+                                    bits=8, alphabet_set=ALPHA_1)
+        assert len(results) == 2
+        assert results[0].layer_name == "fc1"
+        assert results[1].layer_name == "fc2"
+
+    def test_drops_are_bounded(self, trained):
+        model, data = trained
+        results = layer_sensitivity(model, data.flat_test, data.y_test,
+                                    bits=8, alphabet_set=ALPHA_1)
+        for entry in results:
+            assert -0.2 <= entry.drop <= 1.0
+
+    def test_fallback_mode_runs(self, trained):
+        model, data = trained
+        results = layer_sensitivity(model, data.flat_test, data.y_test,
+                                    bits=8, alphabet_set=ALPHA_2,
+                                    constrain=False)
+        assert len(results) == 2
+
+    def test_exact_set_produces_zero_drop(self, trained):
+        """Approximating with the full set changes nothing."""
+        model, data = trained
+        results = layer_sensitivity(model, data.flat_test, data.y_test,
+                                    bits=8, alphabet_set=FULL_ALPHABETS)
+        for entry in results:
+            assert entry.drop == pytest.approx(0.0, abs=1e-9)

@@ -1,0 +1,167 @@
+"""Unit and property tests for two's-complement helpers."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.fixedpoint.binary import (
+    bit_string,
+    clog2,
+    from_twos_complement,
+    is_power_of_two,
+    popcount,
+    sign_bit,
+    signed_range,
+    to_twos_complement,
+)
+
+
+class TestSignedRange:
+    def test_8bit(self):
+        assert signed_range(8) == (-128, 127)
+
+    def test_12bit(self):
+        assert signed_range(12) == (-2048, 2047)
+
+    def test_smallest_width(self):
+        assert signed_range(2) == (-2, 1)
+
+    def test_rejects_one_bit(self):
+        with pytest.raises(ValueError):
+            signed_range(1)
+
+    def test_rejects_zero_bits(self):
+        with pytest.raises(ValueError):
+            signed_range(0)
+
+
+class TestToTwosComplement:
+    def test_positive_identity(self):
+        assert to_twos_complement(105, 8) == 105
+
+    def test_minus_one_is_all_ones(self):
+        assert to_twos_complement(-1, 8) == 255
+
+    def test_most_negative(self):
+        assert to_twos_complement(-128, 8) == 128
+
+    def test_zero(self):
+        assert to_twos_complement(0, 8) == 0
+
+    def test_overflow_positive(self):
+        with pytest.raises(OverflowError):
+            to_twos_complement(128, 8)
+
+    def test_overflow_negative(self):
+        with pytest.raises(OverflowError):
+            to_twos_complement(-129, 8)
+
+    def test_12bit_negative(self):
+        assert to_twos_complement(-2048, 12) == 2048
+
+
+class TestFromTwosComplement:
+    def test_positive(self):
+        assert from_twos_complement(105, 8) == 105
+
+    def test_negative(self):
+        assert from_twos_complement(255, 8) == -1
+
+    def test_most_negative(self):
+        assert from_twos_complement(128, 8) == -128
+
+    def test_rejects_out_of_range_word(self):
+        with pytest.raises(ValueError):
+            from_twos_complement(256, 8)
+
+    def test_rejects_negative_word(self):
+        with pytest.raises(ValueError):
+            from_twos_complement(-1, 8)
+
+
+class TestRoundTrips:
+    @given(st.integers(min_value=-128, max_value=127))
+    def test_roundtrip_8bit(self, value):
+        assert from_twos_complement(to_twos_complement(value, 8), 8) == value
+
+    @given(st.integers(min_value=-2048, max_value=2047))
+    def test_roundtrip_12bit(self, value):
+        assert from_twos_complement(to_twos_complement(value, 12), 12) == value
+
+    @given(st.integers(min_value=2, max_value=32), st.data())
+    def test_roundtrip_any_width(self, bits, data):
+        low, high = signed_range(bits)
+        value = data.draw(st.integers(min_value=low, max_value=high))
+        assert from_twos_complement(to_twos_complement(value, bits), bits) == value
+
+
+class TestSignBit:
+    def test_positive_has_zero_sign(self):
+        assert sign_bit(5, 8) == 0
+
+    def test_negative_has_one_sign(self):
+        assert sign_bit(-5, 8) == 1
+
+    def test_zero_sign(self):
+        assert sign_bit(0, 8) == 0
+
+
+class TestBitString:
+    def test_paper_weight_w1(self):
+        # Table I: W1 = 01101001 (105)
+        assert bit_string(105, 8) == "01101001"
+
+    def test_paper_weight_w2(self):
+        # Table I: W2 = 01000010 (66)
+        assert bit_string(66, 8) == "01000010"
+
+    def test_negative(self):
+        assert bit_string(-2, 4) == "1110"
+
+    @given(st.integers(min_value=-128, max_value=127))
+    def test_length_is_width(self, value):
+        assert len(bit_string(value, 8)) == 8
+
+
+class TestIsPowerOfTwo:
+    @pytest.mark.parametrize("value", [1, 2, 4, 8, 16, 1024])
+    def test_powers(self, value):
+        assert is_power_of_two(value)
+
+    @pytest.mark.parametrize("value", [0, -1, -2, 3, 5, 6, 7, 12])
+    def test_non_powers(self, value):
+        assert not is_power_of_two(value)
+
+
+class TestClog2:
+    @pytest.mark.parametrize("value,expected", [
+        (1, 0), (2, 1), (3, 2), (4, 2), (5, 3), (8, 3), (9, 4), (16, 4),
+    ])
+    def test_values(self, value, expected):
+        assert clog2(value) == expected
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            clog2(0)
+
+    @given(st.integers(min_value=1, max_value=10**6))
+    def test_definition(self, value):
+        k = clog2(value)
+        assert 2 ** k >= value
+        assert k == 0 or 2 ** (k - 1) < value
+
+
+class TestPopcount:
+    @pytest.mark.parametrize("value,expected", [
+        (0, 0), (1, 1), (3, 2), (105, 4), (255, 8),
+    ])
+    def test_values(self, value, expected):
+        assert popcount(value) == expected
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            popcount(-1)
+
+    @given(st.integers(min_value=0, max_value=2**40))
+    def test_matches_bin(self, value):
+        assert popcount(value) == bin(value).count("1")

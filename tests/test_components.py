@@ -1,0 +1,247 @@
+"""Tests for the gate-level component library."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.fixedpoint.binary import clog2
+from repro.hardware.components import (
+    ActivationLUT,
+    ArrayMultiplier,
+    BarrelShifter,
+    CarrySkipAdder,
+    Composite,
+    ControlLogic,
+    GateBank,
+    KoggeStoneAdder,
+    MuxTree,
+    Register,
+    RippleCarryAdder,
+    WireBus,
+    best_adder,
+)
+from repro.hardware.technology import IBM45
+
+
+class TestGateBank:
+    def test_area_energy(self):
+        bank = GateBank(IBM45, "g", {"NAND2": 10}, path=["NAND2"] * 3)
+        assert bank.area_um2 == pytest.approx(10 * IBM45.area("NAND2"))
+        assert bank.energy_fj == pytest.approx(10 * IBM45.energy("NAND2"))
+        assert bank.delay_ps == pytest.approx(3 * IBM45.delay("NAND2"))
+
+    def test_activity_scales_energy_not_area(self):
+        full = GateBank(IBM45, "g", {"FA": 4}, activity=1.0)
+        half = GateBank(IBM45, "g", {"FA": 4}, activity=0.5)
+        assert half.energy_fj == pytest.approx(full.energy_fj / 2)
+        assert half.area_um2 == full.area_um2
+
+    def test_rejects_unknown_gate(self):
+        with pytest.raises(KeyError):
+            GateBank(IBM45, "g", {"FLUX_CAP": 1})
+
+    def test_rejects_negative_count(self):
+        with pytest.raises(ValueError):
+            GateBank(IBM45, "g", {"NAND2": -1})
+
+    def test_rejects_negative_activity(self):
+        with pytest.raises(ValueError):
+            GateBank(IBM45, "g", {"NAND2": 1}, activity=-0.1)
+
+
+class TestComposite:
+    def test_children_aggregate(self):
+        parent = Composite(IBM45, "p")
+        parent.add_child(RippleCarryAdder(IBM45, 4))
+        parent.add_child(RippleCarryAdder(IBM45, 4), multiplicity=0.5)
+        single = RippleCarryAdder(IBM45, 4)
+        assert parent.area_um2 == pytest.approx(1.5 * single.area_um2)
+        assert parent.energy_fj == pytest.approx(1.5 * single.energy_fj)
+
+    def test_critical_path_is_max_child(self):
+        parent = Composite(IBM45, "p")
+        parent.add_child(RippleCarryAdder(IBM45, 2))
+        parent.add_child(RippleCarryAdder(IBM45, 8))
+        assert parent.delay_ps == RippleCarryAdder(IBM45, 8).delay_ps
+
+    def test_off_path_child_excluded_from_delay(self):
+        parent = Composite(IBM45, "p")
+        parent.add_child(RippleCarryAdder(IBM45, 8), on_critical_path=False)
+        assert parent.delay_ps == 0.0
+
+    def test_rejects_negative_multiplicity(self):
+        with pytest.raises(ValueError):
+            Composite(IBM45, "p").add_child(
+                RippleCarryAdder(IBM45, 2), multiplicity=-1)
+
+    def test_report_contains_children(self):
+        parent = Composite(IBM45, "p")
+        parent.add_child(RippleCarryAdder(IBM45, 4))
+        text = parent.report()
+        assert "p:" in text and "rca4" in text
+
+
+class TestAdders:
+    @pytest.mark.parametrize("width", [1, 4, 8, 16, 30])
+    def test_ripple_linear_delay(self, width):
+        adder = RippleCarryAdder(IBM45, width)
+        assert adder.delay_ps == pytest.approx(width * IBM45.delay("FA"))
+        assert adder.gate_counts["FA"] == width
+
+    def test_carry_skip_not_slower_than_ripple(self):
+        # at width 8 the two skip groups degenerate to a plain ripple chain
+        for width in (8, 16, 24, 32):
+            assert CarrySkipAdder(IBM45, width).delay_ps <= \
+                RippleCarryAdder(IBM45, width).delay_ps
+
+    def test_carry_skip_strictly_faster_when_wide(self):
+        for width in (16, 24, 32):
+            assert CarrySkipAdder(IBM45, width).delay_ps < \
+                RippleCarryAdder(IBM45, width).delay_ps
+
+    def test_kogge_stone_fastest(self):
+        for width in (8, 16, 24, 32):
+            assert KoggeStoneAdder(IBM45, width).delay_ps < \
+                CarrySkipAdder(IBM45, width).delay_ps
+
+    def test_area_ordering(self):
+        # speed costs area: ripple < carry-skip < kogge-stone
+        for width in (8, 16, 32):
+            rca = RippleCarryAdder(IBM45, width).area_um2
+            csk = CarrySkipAdder(IBM45, width).area_um2
+            ksa = KoggeStoneAdder(IBM45, width).area_um2
+            assert rca < csk < ksa
+
+    @pytest.mark.parametrize("cls", [RippleCarryAdder, CarrySkipAdder,
+                                     KoggeStoneAdder])
+    def test_rejects_zero_width(self, cls):
+        with pytest.raises(ValueError):
+            cls(IBM45, 0)
+
+    def test_best_adder_prefers_small(self):
+        generous = best_adder(IBM45, 8, budget_ps=1e6)
+        assert isinstance(generous, RippleCarryAdder)
+
+    def test_best_adder_meets_budget_when_possible(self):
+        tight = best_adder(IBM45, 16, budget_ps=300)
+        assert tight.delay_ps <= 300
+
+    def test_best_adder_falls_back_to_fastest(self):
+        impossible = best_adder(IBM45, 32, budget_ps=1)
+        assert isinstance(impossible, KoggeStoneAdder)
+
+    @given(st.integers(min_value=2, max_value=40),
+           st.floats(min_value=50, max_value=2000))
+    def test_best_adder_is_minimal_area_among_meeting(self, width, budget):
+        chosen = best_adder(IBM45, width, budget)
+        candidates = [RippleCarryAdder(IBM45, width),
+                      CarrySkipAdder(IBM45, width),
+                      KoggeStoneAdder(IBM45, width)]
+        meeting = [c for c in candidates if c.delay_ps <= budget]
+        if meeting:
+            assert chosen.area_um2 == min(c.area_um2 for c in meeting)
+        else:
+            assert chosen.delay_ps == min(c.delay_ps for c in candidates)
+
+
+class TestArrayMultiplier:
+    def test_quadratic_area_growth(self):
+        a8 = ArrayMultiplier(IBM45, 8).area_um2
+        a16 = ArrayMultiplier(IBM45, 16).area_um2
+        assert 3.4 < a16 / a8 < 4.6  # ~quadratic
+
+    def test_glitch_activity_default(self):
+        assert ArrayMultiplier(IBM45, 8).activity > 1.0
+
+    def test_delay_linear_in_width(self):
+        d8 = ArrayMultiplier(IBM45, 8).delay_ps
+        d12 = ArrayMultiplier(IBM45, 12).delay_ps
+        assert d12 > d8
+
+    def test_rejects_width_one(self):
+        with pytest.raises(ValueError):
+            ArrayMultiplier(IBM45, 1)
+
+
+class TestBarrelShifter:
+    def test_stage_count(self):
+        shifter = BarrelShifter(IBM45, 16, max_shift=3)
+        assert shifter.gate_counts["MUX2"] == 16 * 2  # shifts 0..3 -> 2 stages
+
+    def test_zero_shift_is_free(self):
+        shifter = BarrelShifter(IBM45, 16, max_shift=0)
+        assert shifter.area_um2 == 0.0
+        assert shifter.delay_ps == 0.0
+
+    def test_delay_is_stages_times_mux(self):
+        shifter = BarrelShifter(IBM45, 8, max_shift=7)
+        assert shifter.delay_ps == pytest.approx(3 * IBM45.delay("MUX2"))
+
+    def test_rejects_bad_geometry(self):
+        with pytest.raises(ValueError):
+            BarrelShifter(IBM45, 0, 3)
+        with pytest.raises(ValueError):
+            BarrelShifter(IBM45, 8, -1)
+
+
+class TestMuxTree:
+    def test_two_way(self):
+        mux = MuxTree(IBM45, 12, 2)
+        assert mux.gate_counts["MUX2"] == 12
+        assert mux.delay_ps == pytest.approx(IBM45.delay("MUX2"))
+
+    def test_four_way(self):
+        mux = MuxTree(IBM45, 12, 4)
+        assert mux.gate_counts["MUX2"] == 12 * 3
+        assert mux.delay_ps == pytest.approx(2 * IBM45.delay("MUX2"))
+
+    def test_one_way_is_wire(self):
+        mux = MuxTree(IBM45, 12, 1)
+        assert mux.area_um2 == 0.0
+        assert mux.delay_ps == 0.0
+
+    @given(st.integers(min_value=1, max_value=16),
+           st.integers(min_value=1, max_value=16))
+    def test_mux_count_formula(self, width, ways):
+        mux = MuxTree(IBM45, width, ways)
+        assert mux.gate_counts["MUX2"] == width * (ways - 1)
+
+
+class TestRegisterLutControlWire:
+    def test_register(self):
+        reg = Register(IBM45, 16)
+        assert reg.gate_counts["DFF"] == 16
+
+    def test_lut_geometry(self):
+        lut = ActivationLUT(IBM45, 8, 8)
+        assert lut.gate_counts["ROM_BIT"] == 256 * 8
+
+    def test_lut_access_energy_much_smaller_than_total(self):
+        lut = ActivationLUT(IBM45, 8, 8)
+        total_if_all_switch = lut.gate_counts["ROM_BIT"] * IBM45.energy("ROM_BIT")
+        assert lut.energy_fj < total_if_all_switch / 100
+
+    def test_control_scales_with_alphabets(self):
+        small = ControlLogic(IBM45, 2, 1)
+        big = ControlLogic(IBM45, 2, 8)
+        assert big.area_um2 > small.area_um2
+
+    def test_wire_bus_scales_with_alphabets_and_length(self):
+        short = WireBus(IBM45, 12, 2, length_um=50)
+        long = WireBus(IBM45, 12, 2, length_um=100)
+        wide = WireBus(IBM45, 12, 4, length_um=50)
+        assert long.area_um2 == pytest.approx(2 * short.area_um2)
+        assert wide.area_um2 == pytest.approx(2 * short.area_um2)
+
+    def test_wire_bus_zero_length(self):
+        assert WireBus(IBM45, 12, 2, length_um=0).area_um2 == 0.0
+
+    def test_invalid_geometries(self):
+        with pytest.raises(ValueError):
+            Register(IBM45, 0)
+        with pytest.raises(ValueError):
+            ActivationLUT(IBM45, 0, 8)
+        with pytest.raises(ValueError):
+            ControlLogic(IBM45, 0, 1)
+        with pytest.raises(ValueError):
+            WireBus(IBM45, 12, 2, length_um=-1)

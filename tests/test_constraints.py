@@ -1,0 +1,246 @@
+"""Tests for weight constraining (Algorithm 1) and the exact variant."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.asm.alphabet import ALPHA_1, ALPHA_2, ALPHA_4, FULL_ALPHABETS
+from repro.asm.constraints import (
+    WeightConstrainer,
+    constrain_magnitude_greedy,
+    constraint_stats,
+    nearest_representable_magnitude,
+    nearest_supported,
+    representable_magnitudes,
+)
+from repro.fixedpoint.quartet import LAYOUT_8BIT, LAYOUT_12BIT
+
+
+class TestNearestSupported:
+    def test_paper_rounding_example_down(self):
+        # paper: supported neighbours 8 and 12 -> threshold 10; 9 -> 8
+        supported = (0, 1, 2, 3, 4, 6, 8, 12)
+        assert nearest_supported(9, supported) == 8
+
+    def test_paper_rounding_example_up(self):
+        # paper: "if 10 or 11 comes up, we will convert it to 12"
+        supported = (0, 1, 2, 3, 4, 6, 8, 12)
+        assert nearest_supported(10, supported) == 12
+        assert nearest_supported(11, supported) == 12
+
+    def test_already_supported(self):
+        assert nearest_supported(6, (0, 2, 6, 8)) == 6
+
+    def test_below_minimum(self):
+        assert nearest_supported(-3, (0, 1, 2)) == 0
+
+    def test_above_maximum(self):
+        assert nearest_supported(99, (0, 1, 2)) == 2
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            nearest_supported(1, ())
+
+    @given(st.integers(min_value=0, max_value=20),
+           st.sets(st.integers(min_value=0, max_value=16),
+                   min_size=1, max_size=10))
+    def test_result_is_a_nearest_member(self, value, members):
+        supported = tuple(sorted(members))
+        result = nearest_supported(value, supported)
+        assert result in supported
+        best = min(abs(s - value) for s in supported)
+        assert abs(result - value) == best
+
+
+class TestGreedyConstrain:
+    def test_supported_weight_unchanged(self):
+        assert constrain_magnitude_greedy(104, LAYOUT_8BIT, ALPHA_2) == 104
+
+    def test_paper_unsupported_lsb(self):
+        # 105 has R=9, unsupported under {1,3}; 9 rounds down to 8
+        assert constrain_magnitude_greedy(105, LAYOUT_8BIT, ALPHA_2) == 104
+
+    def test_carry_into_next_quartet(self):
+        # R=15 under {1,3}: neighbours 12 and 16, threshold 14 -> carry
+        result = constrain_magnitude_greedy(15, LAYOUT_8BIT, ALPHA_2)
+        assert result == 16
+
+    def test_msb_saturation(self):
+        # P=7 unsupported under {1,3} (3-bit quartet): neighbours 6, (no 8)
+        result = constrain_magnitude_greedy(0b111_0000, LAYOUT_8BIT, ALPHA_2)
+        assert result == 0b110_0000
+
+    def test_full_set_is_identity(self):
+        for magnitude in range(128):
+            assert constrain_magnitude_greedy(
+                magnitude, LAYOUT_8BIT, FULL_ALPHABETS) == magnitude
+
+    def test_zero(self):
+        assert constrain_magnitude_greedy(0, LAYOUT_12BIT, ALPHA_1) == 0
+
+    @given(st.integers(min_value=0, max_value=127))
+    def test_result_always_representable_8bit(self, magnitude):
+        for aset in (ALPHA_1, ALPHA_2, ALPHA_4):
+            result = constrain_magnitude_greedy(magnitude, LAYOUT_8BIT, aset)
+            assert result in representable_magnitudes(LAYOUT_8BIT, aset)
+
+    @given(st.integers(min_value=0, max_value=2047))
+    def test_result_always_representable_12bit(self, magnitude):
+        for aset in (ALPHA_1, ALPHA_2, ALPHA_4):
+            result = constrain_magnitude_greedy(magnitude, LAYOUT_12BIT, aset)
+            assert result in representable_magnitudes(LAYOUT_12BIT, aset)
+
+    @given(st.integers(min_value=0, max_value=2047))
+    def test_idempotent(self, magnitude):
+        once = constrain_magnitude_greedy(magnitude, LAYOUT_12BIT, ALPHA_2)
+        twice = constrain_magnitude_greedy(once, LAYOUT_12BIT, ALPHA_2)
+        assert once == twice
+
+
+class TestRepresentableGrid:
+    def test_8bit_alpha2_grid_size(self):
+        # R has 8 supported values, P (3-bit) has 6 -> 48 magnitudes
+        assert len(representable_magnitudes(LAYOUT_8BIT, ALPHA_2)) == 48
+
+    def test_8bit_alpha1_grid_size(self):
+        # R: {0,1,2,4,8} (5), P: {0,1,2,4} (4) -> 20
+        assert len(representable_magnitudes(LAYOUT_8BIT, ALPHA_1)) == 20
+
+    def test_full_set_grid_is_everything(self):
+        assert representable_magnitudes(LAYOUT_8BIT, FULL_ALPHABETS) == \
+            tuple(range(128))
+
+    def test_grid_sorted_unique(self):
+        grid = representable_magnitudes(LAYOUT_12BIT, ALPHA_2)
+        assert list(grid) == sorted(set(grid))
+
+    def test_zero_and_max_patterns(self):
+        grid = representable_magnitudes(LAYOUT_8BIT, ALPHA_2)
+        assert 0 in grid
+        assert 0b110_1100 in grid  # P=6, R=12 both supported
+
+
+class TestNearestRepresentable:
+    @given(st.integers(min_value=0, max_value=2047))
+    def test_optimality(self, magnitude):
+        grid = representable_magnitudes(LAYOUT_12BIT, ALPHA_2)
+        result = nearest_representable_magnitude(
+            magnitude, LAYOUT_12BIT, ALPHA_2)
+        best = min(abs(g - magnitude) for g in grid)
+        assert abs(result - magnitude) == best
+
+    @given(st.integers(min_value=0, max_value=2047))
+    def test_greedy_never_beats_exact(self, magnitude):
+        exact = nearest_representable_magnitude(
+            magnitude, LAYOUT_12BIT, ALPHA_2)
+        greedy = constrain_magnitude_greedy(magnitude, LAYOUT_12BIT, ALPHA_2)
+        assert abs(exact - magnitude) <= abs(greedy - magnitude)
+
+    def test_greedy_suboptimal_case_exists(self):
+        """The quartet walk is not globally optimal — the exact variant is
+        strictly better somewhere (motivates the rounding ablation)."""
+        layout, aset = LAYOUT_12BIT, ALPHA_2
+        gaps = []
+        for magnitude in range(2048):
+            exact = nearest_representable_magnitude(magnitude, layout, aset)
+            greedy = constrain_magnitude_greedy(magnitude, layout, aset)
+            gaps.append(abs(greedy - magnitude) - abs(exact - magnitude))
+        assert max(gaps) > 0
+
+
+class TestWeightConstrainer:
+    def test_sign_symmetry(self):
+        c = WeightConstrainer(8, ALPHA_2)
+        for w in range(-127, 128):
+            assert c.constrain(-w) == -c.constrain(w)
+
+    def test_most_negative_weight_saturates(self):
+        c = WeightConstrainer(8, ALPHA_2)
+        assert c.constrain(-128) == c.constrain(-127)
+
+    def test_scalar_array_agreement(self):
+        c = WeightConstrainer(8, ALPHA_1)
+        weights = np.arange(-128, 128)
+        expected = np.array([c.constrain(int(w)) for w in weights])
+        np.testing.assert_array_equal(c.constrain_array(weights), expected)
+
+    def test_out_of_range_scalar(self):
+        with pytest.raises(OverflowError):
+            WeightConstrainer(8, ALPHA_2).constrain(128)
+
+    def test_out_of_range_array(self):
+        with pytest.raises(OverflowError):
+            WeightConstrainer(8, ALPHA_2).constrain_array(np.array([999]))
+
+    def test_unknown_mode(self):
+        with pytest.raises(ValueError):
+            WeightConstrainer(8, ALPHA_2, mode="magic")
+
+    def test_is_representable(self):
+        c = WeightConstrainer(8, ALPHA_2)
+        assert c.is_representable(104)
+        assert not c.is_representable(105)
+
+    def test_nearest_mode_optimal(self):
+        c = WeightConstrainer(8, ALPHA_2, mode="nearest")
+        grid = representable_magnitudes(LAYOUT_8BIT, ALPHA_2)
+        for w in range(0, 128):
+            best = min(abs(g - w) for g in grid)
+            assert abs(c.constrain(w) - w) == best
+
+    def test_full_set_identity(self):
+        c = WeightConstrainer(8, FULL_ALPHABETS)
+        weights = np.arange(-127, 128)
+        np.testing.assert_array_equal(c.constrain_array(weights), weights)
+
+    @given(st.integers(min_value=-2048, max_value=2047))
+    def test_idempotent_12bit(self, weight):
+        c = WeightConstrainer(12, ALPHA_1)
+        assert c.constrain(c.constrain(weight)) == c.constrain(weight)
+
+    @given(st.integers(min_value=-2048, max_value=2047))
+    def test_constrained_in_range(self, weight):
+        c = WeightConstrainer(12, ALPHA_2)
+        result = c.constrain(weight)
+        assert -2047 <= result <= 2047
+
+
+class TestConstraintStats:
+    def test_no_change_for_representable(self):
+        c = WeightConstrainer(8, ALPHA_2)
+        weights = np.array(list(c.grid))
+        stats = constraint_stats(c, weights)
+        assert stats.num_changed == 0
+        assert stats.max_abs_error == 0
+        assert stats.fraction_changed == 0.0
+
+    def test_counts(self):
+        c = WeightConstrainer(8, ALPHA_2)
+        stats = constraint_stats(c, np.array([104, 105]))
+        assert stats.num_weights == 2
+        assert stats.num_changed == 1
+        assert stats.max_abs_error == 1
+        assert stats.mean_abs_error == pytest.approx(0.5)
+
+    def test_empty(self):
+        c = WeightConstrainer(8, ALPHA_2)
+        stats = constraint_stats(c, np.array([], dtype=np.int64))
+        assert stats.num_weights == 0
+        assert stats.fraction_changed == 0.0
+
+    def test_error_bounded_by_grid_geometry(self):
+        """Nearest-mode error is at most half the largest interior gap of the
+        representable grid, except for saturation above the grid's top value
+        (e.g. the 8-bit MAN grid tops out at 72 while weights reach 127)."""
+        for bits, layout in ((8, LAYOUT_8BIT), (12, LAYOUT_12BIT)):
+            for aset in (ALPHA_1, ALPHA_2, ALPHA_4):
+                c = WeightConstrainer(bits, aset, mode="nearest")
+                grid = representable_magnitudes(layout, aset)
+                max_gap = max(b - a for a, b in zip(grid, grid[1:]))
+                saturation = layout.max_magnitude - grid[-1]
+                bound = max((max_gap + 1) // 2, saturation)
+                weights = np.arange(-layout.max_magnitude,
+                                    layout.max_magnitude + 1)
+                stats = constraint_stats(c, weights)
+                assert stats.max_abs_error <= bound

@@ -1,0 +1,173 @@
+"""Tests for quartet decomposition — anchored on the paper's Table I."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.asm.alphabet import (
+    ALPHA_1,
+    ALPHA_2,
+    ALPHA_4,
+    FULL_ALPHABETS,
+    AlphabetSet,
+)
+from repro.asm.decompose import (
+    QuartetTerm,
+    UnsupportedQuartetError,
+    decompose_magnitude,
+    decompose_quartet,
+    format_decomposition,
+    reconstruct,
+)
+from repro.fixedpoint.quartet import LAYOUT_8BIT, LAYOUT_12BIT
+
+
+class TestDecomposeQuartet:
+    def test_zero_is_none(self):
+        assert decompose_quartet(0, ALPHA_4) is None
+
+    def test_alphabet_itself(self):
+        assert decompose_quartet(5, ALPHA_4) == (5, 0)
+
+    def test_shifted_alphabet(self):
+        assert decompose_quartet(10, ALPHA_4) == (5, 1)
+        assert decompose_quartet(12, ALPHA_4) == (3, 2)
+
+    def test_power_of_two(self):
+        assert decompose_quartet(8, ALPHA_1) == (1, 3)
+
+    def test_unsupported_raises(self):
+        with pytest.raises(UnsupportedQuartetError):
+            decompose_quartet(9, ALPHA_4)
+
+    def test_unsupported_error_payload(self):
+        with pytest.raises(UnsupportedQuartetError) as excinfo:
+            decompose_quartet(7, ALPHA_2)
+        assert excinfo.value.value == 7
+        assert excinfo.value.alphabet_set is ALPHA_2
+
+    def test_out_of_width(self):
+        with pytest.raises(ValueError):
+            decompose_quartet(16, ALPHA_4)
+
+    def test_narrow_width(self):
+        assert decompose_quartet(6, ALPHA_2, width=3) == (3, 1)
+        with pytest.raises(UnsupportedQuartetError):
+            decompose_quartet(5, ALPHA_2, width=3)
+
+    @given(st.integers(min_value=1, max_value=15))
+    def test_full_set_always_decomposes(self, value):
+        alphabet, shift = decompose_quartet(value, FULL_ALPHABETS)
+        assert alphabet << shift == value
+        assert alphabet % 2 == 1
+
+
+class TestDecomposeMagnitude:
+    def test_paper_table1_w1(self):
+        # W1 = 105: quartets R=9 (alphabet 9, shift 0), P=6 (alphabet 3,
+        # shifted once, at bit offset 4 -> total shift 5)
+        terms = decompose_magnitude(105, LAYOUT_8BIT, FULL_ALPHABETS)
+        assert [(t.alphabet, t.shift) for t in terms] == [(9, 0), (3, 5)]
+
+    def test_paper_table1_w2(self):
+        # W2 = 66: 2^6 . 0001 + 2^1 . 0001
+        terms = decompose_magnitude(66, LAYOUT_8BIT, FULL_ALPHABETS)
+        assert [(t.alphabet, t.shift) for t in terms] == [(1, 1), (1, 6)]
+
+    def test_paper_fig2_example(self):
+        # Fig. 2: W = 01001010 -> 10M = 5M<<1 and 4M<<4 = (1M<<2)<<4
+        terms = decompose_magnitude(0b1001010, LAYOUT_8BIT, ALPHA_4)
+        assert [(t.alphabet, t.shift) for t in terms] == [(5, 1), (1, 6)]
+
+    def test_zero_weight(self):
+        assert decompose_magnitude(0, LAYOUT_8BIT, ALPHA_1) == []
+
+    def test_single_quartet(self):
+        terms = decompose_magnitude(7, LAYOUT_8BIT, ALPHA_4)
+        assert len(terms) == 1
+        assert terms[0].quartet_index == 0
+
+    def test_term_value_property(self):
+        term = QuartetTerm(quartet_index=1, alphabet=3, shift=5)
+        assert term.value == 96
+
+    def test_unsupported_quartet_raises(self):
+        with pytest.raises(UnsupportedQuartetError):
+            decompose_magnitude(9, LAYOUT_8BIT, ALPHA_4)
+
+    @given(st.integers(min_value=0, max_value=127))
+    def test_reconstruct_8bit_full_set(self, magnitude):
+        terms = decompose_magnitude(magnitude, LAYOUT_8BIT, FULL_ALPHABETS)
+        assert reconstruct(terms) == magnitude
+
+    @given(st.integers(min_value=0, max_value=2047))
+    def test_reconstruct_12bit_full_set(self, magnitude):
+        terms = decompose_magnitude(magnitude, LAYOUT_12BIT, FULL_ALPHABETS)
+        assert reconstruct(terms) == magnitude
+
+    @given(st.integers(min_value=0, max_value=2047))
+    def test_terms_use_available_alphabets_only(self, magnitude):
+        terms = decompose_magnitude(magnitude, LAYOUT_12BIT, FULL_ALPHABETS)
+        for term in terms:
+            assert term.alphabet in FULL_ALPHABETS
+
+    @given(st.integers(min_value=0, max_value=127))
+    def test_at_most_one_term_per_quartet(self, magnitude):
+        terms = decompose_magnitude(magnitude, LAYOUT_8BIT, FULL_ALPHABETS)
+        indices = [t.quartet_index for t in terms]
+        assert len(indices) == len(set(indices))
+
+
+class TestFormatDecomposition:
+    def test_paper_table1_row1(self):
+        assert format_decomposition(105, LAYOUT_8BIT, FULL_ALPHABETS) == \
+            "W x I = 2^5.(0011).I + 2^0.(1001).I"
+
+    def test_paper_table1_row2(self):
+        assert format_decomposition(66, LAYOUT_8BIT, FULL_ALPHABETS) == \
+            "W x I = 2^6.(0001).I + 2^1.(0001).I"
+
+    def test_zero(self):
+        assert format_decomposition(0, LAYOUT_8BIT, ALPHA_1) == "W x I = 0"
+
+    def test_custom_symbol(self):
+        out = format_decomposition(66, LAYOUT_8BIT, FULL_ALPHABETS, symbol="M")
+        assert out.endswith(".M") and " x M = " in out
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            format_decomposition(-1, LAYOUT_8BIT, ALPHA_1)
+
+
+@st.composite
+def supported_magnitudes(draw, layout, aset):
+    """Magnitudes whose quartets are all supported by *aset*."""
+    quartets = []
+    for width in layout.quartet_widths:
+        quartets.append(draw(st.sampled_from(
+            sorted(aset.supported_values(width)))))
+    return layout.join(quartets)
+
+
+class TestReducedSetProperties:
+    @given(supported_magnitudes(LAYOUT_12BIT, ALPHA_2))
+    def test_supported_weight_decomposes_exactly(self, magnitude):
+        terms = decompose_magnitude(magnitude, LAYOUT_12BIT, ALPHA_2)
+        assert reconstruct(terms) == magnitude
+
+    @given(supported_magnitudes(LAYOUT_8BIT, ALPHA_1))
+    def test_man_terms_are_shifts_of_input(self, magnitude):
+        terms = decompose_magnitude(magnitude, LAYOUT_8BIT, ALPHA_1)
+        assert all(t.alphabet == 1 for t in terms)
+
+    @given(st.integers(min_value=0, max_value=127))
+    def test_alpha2_subset_of_alpha4_failures(self, magnitude):
+        """Whatever ALPHA_4 can decompose exactly includes ALPHA_2's set."""
+        try:
+            decompose_magnitude(magnitude, LAYOUT_8BIT, ALPHA_2)
+            alpha2_ok = True
+        except UnsupportedQuartetError:
+            alpha2_ok = False
+        if alpha2_ok:
+            # must also work with the larger set
+            decompose_magnitude(magnitude, LAYOUT_8BIT, ALPHA_4)

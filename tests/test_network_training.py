@@ -1,0 +1,267 @@
+"""Tests for losses, Sequential, SGD and the Trainer."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import lenet, mlp
+from repro.nn.losses import CrossEntropyLoss, MSELoss, get_loss
+from repro.nn.layers import Dense
+from repro.nn.network import Sequential
+from repro.nn.optim import SGD, ConstantRate, StepDecay
+from repro.nn.trainer import Trainer
+
+RNG = np.random.default_rng(3)
+
+
+class TestLosses:
+    def test_mse_zero_at_target(self):
+        loss, grad = MSELoss()(np.ones((2, 3)), np.ones((2, 3)))
+        assert loss == 0.0
+        np.testing.assert_array_equal(grad, 0.0)
+
+    def test_mse_gradient_direction(self):
+        outputs = np.array([[1.0, 0.0]])
+        targets = np.array([[0.0, 0.0]])
+        _, grad = MSELoss()(outputs, targets)
+        assert grad[0, 0] > 0
+
+    def test_mse_finite_difference(self):
+        outputs = RNG.normal(size=(4, 3))
+        targets = RNG.normal(size=(4, 3))
+        loss_fn = MSELoss()
+        _, grad = loss_fn(outputs, targets)
+        h = 1e-6
+        for i in range(outputs.size):
+            o = outputs.copy().reshape(-1)
+            o[i] += h
+            up, _ = loss_fn(o.reshape(outputs.shape), targets)
+            o[i] -= 2 * h
+            down, _ = loss_fn(o.reshape(outputs.shape), targets)
+            assert grad.reshape(-1)[i] == pytest.approx(
+                (up - down) / (2 * h), abs=1e-5)
+
+    def test_cross_entropy_finite_difference(self):
+        outputs = RNG.normal(size=(3, 4))
+        targets = np.eye(4)[[0, 2, 3]]
+        loss_fn = CrossEntropyLoss()
+        _, grad = loss_fn(outputs, targets)
+        h = 1e-6
+        for i in range(outputs.size):
+            o = outputs.copy().reshape(-1)
+            o[i] += h
+            up, _ = loss_fn(o.reshape(outputs.shape), targets)
+            o[i] -= 2 * h
+            down, _ = loss_fn(o.reshape(outputs.shape), targets)
+            assert grad.reshape(-1)[i] == pytest.approx(
+                (up - down) / (2 * h), abs=1e-5)
+
+    def test_cross_entropy_perfect_prediction(self):
+        outputs = np.array([[100.0, -100.0]])
+        targets = np.array([[1.0, 0.0]])
+        loss, _ = CrossEntropyLoss()(outputs, targets)
+        assert loss == pytest.approx(0.0, abs=1e-6)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            MSELoss()(np.zeros((2, 3)), np.zeros((2, 4)))
+
+    def test_get_loss(self):
+        assert get_loss("mse").name == "mse"
+        loss = CrossEntropyLoss()
+        assert get_loss(loss) is loss
+        with pytest.raises(ValueError):
+            get_loss("hinge")
+
+
+class TestSequential:
+    def test_mlp_factory_counts(self):
+        net = mlp([1024, 100, 10])
+        assert net.num_params == 103510
+        assert net.num_neurons == 110
+
+    def test_lenet_factory_counts(self):
+        net = lenet()
+        assert net.num_params == 51946
+        assert net.num_neurons == 8010
+
+    def test_forward_shape(self):
+        net = mlp([8, 5, 3], seed=0)
+        out = net.forward(RNG.normal(size=(4, 8)))
+        assert out.shape == (4, 3)
+
+    def test_predict_returns_class_indices(self):
+        net = mlp([8, 5, 3], seed=0)
+        pred = net.predict(RNG.normal(size=(6, 8)))
+        assert pred.shape == (6,)
+        assert set(pred) <= {0, 1, 2}
+
+    def test_accuracy_bounds(self):
+        net = mlp([8, 5, 3], seed=0)
+        x = RNG.normal(size=(30, 8))
+        labels = RNG.integers(0, 3, size=30)
+        acc = net.accuracy(x, labels)
+        assert 0.0 <= acc <= 1.0
+
+    def test_accuracy_length_mismatch(self):
+        net = mlp([8, 5, 3], seed=0)
+        with pytest.raises(ValueError):
+            net.accuracy(np.zeros((3, 8)), np.zeros(4, dtype=int))
+
+    def test_state_roundtrip(self):
+        net = mlp([8, 5, 3], seed=0)
+        saved = net.state()
+        x = RNG.normal(size=(2, 8))
+        before = net.forward(x, training=False)
+        net.layers[0].params["W"] += 0.5
+        net.load_state(saved)
+        np.testing.assert_allclose(net.forward(x, training=False), before)
+
+    def test_save_load_file(self, tmp_path):
+        net = mlp([8, 5, 3], seed=0)
+        path = str(tmp_path / "weights.npz")
+        net.save(path)
+        other = mlp([8, 5, 3], seed=99)
+        other.load(path)
+        x = RNG.normal(size=(2, 8))
+        np.testing.assert_allclose(other.forward(x, training=False),
+                                   net.forward(x, training=False))
+
+    def test_topology_mlp(self):
+        net = mlp([1024, 100, 10])
+        topo = net.topology()
+        assert [w.neurons for w in topo.layers] == [100, 10]
+        assert topo.total_macs == 1024 * 100 + 100 * 10
+
+    def test_topology_lenet(self):
+        topo = lenet().topology()
+        assert topo.total_neurons == 8010
+        assert len(topo.layers) == 6
+
+    def test_topology_conv_needs_spatial(self):
+        from repro.nn.layers import Conv2D
+        net = Sequential([Conv2D(1, 2, 3)])
+        with pytest.raises(ValueError):
+            net.topology()
+
+    def test_empty_network_rejected(self):
+        with pytest.raises(ValueError):
+            Sequential([])
+
+
+class TestSGD:
+    def test_updates_move_against_gradient(self):
+        layer = Dense(2, 1, activation="identity",
+                      rng=np.random.default_rng(0))
+        net = Sequential([layer])
+        opt = SGD(net, learning_rate=0.1, momentum=0.0)
+        layer.grads = {"W": np.ones((2, 1)), "b": np.ones(1)}
+        before = layer.params["W"].copy()
+        opt.step()
+        np.testing.assert_allclose(layer.params["W"], before - 0.1)
+
+    def test_momentum_accumulates(self):
+        layer = Dense(1, 1, activation="identity",
+                      rng=np.random.default_rng(0))
+        net = Sequential([layer])
+        opt = SGD(net, learning_rate=0.1, momentum=0.5)
+        layer.grads = {"W": np.ones((1, 1)), "b": np.zeros(1)}
+        w0 = layer.params["W"].copy()
+        opt.step()
+        first = w0 - layer.params["W"]
+        opt.step()
+        second = (w0 - first) - layer.params["W"] - first + first
+        # second step = momentum * first + lr * grad > first step
+        assert (w0 - layer.params["W"]) > 1.9 * first
+
+    def test_reset_clears_momentum(self):
+        layer = Dense(1, 1, activation="identity",
+                      rng=np.random.default_rng(0))
+        opt = SGD(Sequential([layer]), learning_rate=0.1, momentum=0.9)
+        layer.grads = {"W": np.ones((1, 1)), "b": np.zeros(1)}
+        opt.step()
+        opt.reset()
+        assert opt.epoch == 0
+        assert not opt._velocity
+
+    def test_invalid_momentum(self):
+        with pytest.raises(ValueError):
+            SGD(mlp([2, 2]), momentum=1.0)
+
+    def test_schedules(self):
+        assert ConstantRate(0.1)(5) == 0.1
+        decay = StepDecay(0.4, factor=0.5, every=10)
+        assert decay(0) == 0.4
+        assert decay(10) == 0.2
+        assert decay(25) == 0.1
+        with pytest.raises(ValueError):
+            ConstantRate(0.0)
+        with pytest.raises(ValueError):
+            StepDecay(0.1, factor=0.0)
+
+
+def _toy_problem(n=200, seed=0):
+    """Linearly separable 2-class blobs."""
+    rng = np.random.default_rng(seed)
+    x0 = rng.normal(loc=-1.0, scale=0.4, size=(n // 2, 4))
+    x1 = rng.normal(loc=+1.0, scale=0.4, size=(n // 2, 4))
+    x = np.vstack([x0, x1])
+    labels = np.array([0] * (n // 2) + [1] * (n // 2))
+    onehot = np.eye(2)[labels]
+    return x, onehot, labels
+
+
+class TestTrainer:
+    def test_learns_separable_problem(self):
+        x, onehot, labels = _toy_problem()
+        net = mlp([4, 8, 2], seed=1)
+        trainer = Trainer(net, SGD(net, 0.2), batch_size=16)
+        history = trainer.fit(x, onehot, x, labels, max_epochs=30)
+        assert history.best_accuracy > 0.95
+
+    def test_saturation_stops_early(self):
+        x, onehot, labels = _toy_problem()
+        net = mlp([4, 8, 2], seed=1)
+        trainer = Trainer(net, SGD(net, 0.2), batch_size=16, patience=2)
+        history = trainer.fit(x, onehot, x, labels, max_epochs=100)
+        assert history.epochs_run < 100
+
+    def test_keeps_best_state(self):
+        x, onehot, labels = _toy_problem()
+        net = mlp([4, 8, 2], seed=1)
+        trainer = Trainer(net, SGD(net, 0.2), batch_size=16, patience=2)
+        history = trainer.fit(x, onehot, x, labels, max_epochs=20)
+        assert net.accuracy(x, labels) == pytest.approx(
+            history.best_accuracy, abs=1e-9)
+
+    def test_post_step_hook_called(self):
+        x, onehot, labels = _toy_problem(n=40)
+        net = mlp([4, 4, 2], seed=1)
+        calls = []
+        trainer = Trainer(net, SGD(net, 0.1), batch_size=10,
+                          post_step=lambda: calls.append(1))
+        trainer.fit(x, onehot, x, labels, max_epochs=1)
+        assert len(calls) == 4  # 40 samples / batch 10
+
+    def test_mse_loss_training(self):
+        x, onehot, labels = _toy_problem()
+        net = mlp([4, 8, 2], hidden_activation="sigmoid", seed=1)
+        # sigmoid output for MSE-style training
+        net.layers[-1].activation = __import__(
+            "repro.nn.activations", fromlist=["Sigmoid"]).Sigmoid()
+        trainer = Trainer(net, SGD(net, 0.5), loss="mse", batch_size=16)
+        history = trainer.fit(x, onehot, x, labels, max_epochs=40)
+        assert history.best_accuracy > 0.9
+
+    def test_validation_argument_checks(self):
+        net = mlp([4, 4, 2], seed=1)
+        trainer = Trainer(net, SGD(net, 0.1))
+        with pytest.raises(ValueError):
+            trainer.fit(np.zeros((3, 4)), np.zeros((4, 2)),
+                        np.zeros((2, 4)), np.zeros(2, dtype=int))
+
+    def test_invalid_parameters(self):
+        net = mlp([4, 4, 2], seed=1)
+        with pytest.raises(ValueError):
+            Trainer(net, SGD(net, 0.1), batch_size=0)
+        with pytest.raises(ValueError):
+            Trainer(net, SGD(net, 0.1), patience=0)

@@ -1,0 +1,85 @@
+"""Tests for CSD decomposition and the pre-computer bank model."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.asm.alphabet import ALPHA_1, ALPHA_2, ALPHA_4, FULL_ALPHABETS
+from repro.hardware.precompute import (
+    PrecomputeBank,
+    csd_adder_count,
+    csd_digits,
+)
+from repro.hardware.technology import IBM45
+
+
+class TestCSD:
+    @pytest.mark.parametrize("value,expected", [
+        (0, 0), (1, 1), (2, 1), (3, 2), (4, 1), (5, 2), (6, 2), (7, 2),
+        (8, 1), (9, 2), (11, 3), (13, 3), (15, 2), (16, 1), (21, 3),
+    ])
+    def test_known_digit_counts(self, value, expected):
+        assert csd_digits(value) == expected
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            csd_digits(-1)
+
+    @given(st.integers(min_value=0, max_value=10**6))
+    def test_csd_at_most_binary_weight(self, value):
+        assert csd_digits(value) <= bin(value).count("1")
+
+    @given(st.integers(min_value=1, max_value=10**6))
+    def test_csd_minimal_weight_bound(self, value):
+        # canonical form uses at most ceil(bits/2)+... loose sanity bound
+        assert csd_digits(value) <= value.bit_length() // 2 + 1
+
+    def test_adder_counts_for_alphabets(self):
+        assert [csd_adder_count(a) for a in (1, 3, 5, 7, 9, 11, 13, 15)] == \
+            [0, 1, 1, 1, 1, 2, 2, 1]
+
+
+class TestPrecomputeBank:
+    def test_man_bank_is_empty(self):
+        bank = PrecomputeBank(IBM45, 8, ALPHA_1, share_units=4,
+                              period_ps=333, bus_length_um=120)
+        assert bank.is_empty
+        assert bank.area_um2 == 0.0
+        assert bank.num_adders == 0
+
+    def test_alpha2_bank_single_adder(self):
+        bank = PrecomputeBank(IBM45, 8, ALPHA_2, share_units=4,
+                              period_ps=333, bus_length_um=120)
+        assert not bank.is_empty
+        assert bank.num_adders == 1
+
+    def test_alpha4_bank_three_adders(self):
+        bank = PrecomputeBank(IBM45, 8, ALPHA_4, share_units=4,
+                              period_ps=333, bus_length_um=120)
+        assert bank.num_adders == 3  # 3I, 5I, 7I each one adder
+
+    def test_full_bank_adder_count(self):
+        bank = PrecomputeBank(IBM45, 8, FULL_ALPHABETS, share_units=4,
+                              period_ps=333, bus_length_um=120)
+        # 3,5,7,9,15 -> 1 adder each; 11,13 -> 2 each
+        assert bank.num_adders == 5 + 4
+
+    def test_area_grows_with_alphabets(self):
+        kwargs = dict(share_units=4, period_ps=333, bus_length_um=120)
+        a2 = PrecomputeBank(IBM45, 8, ALPHA_2, **kwargs).area_um2
+        a4 = PrecomputeBank(IBM45, 8, ALPHA_4, **kwargs).area_um2
+        a8 = PrecomputeBank(IBM45, 8, FULL_ALPHABETS, **kwargs).area_um2
+        assert 0 < a2 < a4 < a8
+
+    def test_bus_disabled_with_zero_length(self):
+        with_bus = PrecomputeBank(IBM45, 8, ALPHA_2, share_units=4,
+                                  period_ps=333, bus_length_um=120)
+        without = PrecomputeBank(IBM45, 8, ALPHA_2, share_units=4,
+                                 period_ps=333, bus_length_um=0)
+        assert without.area_um2 < with_bus.area_um2
+
+    def test_wider_words_cost_more(self):
+        kwargs = dict(share_units=4, period_ps=400, bus_length_um=120)
+        b8 = PrecomputeBank(IBM45, 8, ALPHA_4, **kwargs).area_um2
+        b12 = PrecomputeBank(IBM45, 12, ALPHA_4, **kwargs).area_um2
+        assert b12 > b8

@@ -1,0 +1,140 @@
+"""Unit and property tests for Q-format fixed-point quantisation."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.fixedpoint.qformat import QFormat, qformat_for_range
+
+
+class TestQFormatBasics:
+    def test_resolution_q1_7(self):
+        assert QFormat(8, 7).resolution == pytest.approx(1 / 128)
+
+    def test_int_bits(self):
+        assert QFormat(8, 7).int_bits == 0
+        assert QFormat(12, 8).int_bits == 3
+
+    def test_range_q1_7(self):
+        q = QFormat(8, 7)
+        assert q.min_value == pytest.approx(-1.0)
+        assert q.max_value == pytest.approx(127 / 128)
+
+    def test_max_magnitude(self):
+        assert QFormat(8, 7).max_magnitude == 127
+        assert QFormat(12, 11).max_magnitude == 2047
+
+    def test_negative_frac_bits_allowed(self):
+        q = QFormat(8, -2)
+        assert q.resolution == 4.0
+        assert q.quantize(9.0) == 2  # 9/4 -> 2.25 -> 2
+
+    def test_rejects_tiny_width(self):
+        with pytest.raises(ValueError):
+            QFormat(1, 0)
+
+    def test_str(self):
+        assert str(QFormat(8, 7)) == "Q0.7"
+
+
+class TestQuantizeScalar:
+    def test_exact_value(self):
+        assert QFormat(8, 7).quantize(0.5) == 64
+
+    def test_round_half_away_positive(self):
+        # 0.5 LSB rounds away from zero
+        q = QFormat(8, 0)
+        assert q.quantize(2.5) == 3
+
+    def test_round_half_away_negative(self):
+        q = QFormat(8, 0)
+        assert q.quantize(-2.5) == -3
+
+    def test_saturates_high(self):
+        assert QFormat(8, 7).quantize(10.0) == 127
+
+    def test_saturates_low(self):
+        assert QFormat(8, 7).quantize(-10.0) == -128
+
+    def test_zero(self):
+        assert QFormat(8, 7).quantize(0.0) == 0
+
+
+class TestToFloat:
+    def test_inverse_on_grid(self):
+        q = QFormat(8, 7)
+        assert q.to_float(64) == pytest.approx(0.5)
+
+    def test_rejects_out_of_range_code(self):
+        with pytest.raises(OverflowError):
+            QFormat(8, 7).to_float(128)
+
+    @given(st.integers(min_value=-128, max_value=127))
+    def test_roundtrip_codes(self, code):
+        q = QFormat(8, 5)
+        assert q.quantize(q.to_float(code)) == code
+
+
+class TestQuantizeArray:
+    def test_matches_scalar(self):
+        q = QFormat(8, 7)
+        values = np.array([-2.0, -0.503, 0.0, 0.251, 0.999, 3.0])
+        expected = np.array([q.quantize(v) for v in values])
+        np.testing.assert_array_equal(q.quantize_array(values), expected)
+
+    def test_dtype_is_int64(self):
+        assert QFormat(8, 7).quantize_array(np.zeros(3)).dtype == np.int64
+
+    def test_to_float_array_roundtrip(self):
+        q = QFormat(12, 9)
+        codes = np.arange(-2048, 2048)
+        np.testing.assert_array_equal(
+            q.quantize_array(q.to_float_array(codes)), codes)
+
+    def test_to_float_array_rejects_overflow(self):
+        with pytest.raises(OverflowError):
+            QFormat(8, 7).to_float_array(np.array([300]))
+
+    @given(arrays(np.float64, (17,),
+                  elements=st.floats(-4, 4, allow_nan=False)))
+    def test_array_scalar_agreement(self, values):
+        q = QFormat(8, 5)
+        expected = np.array([q.quantize(v) for v in values])
+        np.testing.assert_array_equal(q.quantize_array(values), expected)
+
+    @given(arrays(np.float64, (11,),
+                  elements=st.floats(-100, 100, allow_nan=False)))
+    def test_quantisation_error_bounded(self, values):
+        """On-range values quantise with error at most half an LSB."""
+        q = QFormat(12, 6)
+        in_range = np.clip(values, q.min_value, q.max_value)
+        codes = q.quantize_array(in_range)
+        recovered = q.to_float_array(codes)
+        assert np.all(np.abs(recovered - in_range) <= q.resolution / 2 + 1e-12)
+
+
+class TestQFormatForRange:
+    def test_unit_range(self):
+        assert qformat_for_range(8, 0.9) == QFormat(8, 7)
+
+    def test_wider_range_drops_frac_bits(self):
+        assert qformat_for_range(8, 3.5) == QFormat(8, 5)
+
+    def test_exact_power_of_two_boundary(self):
+        # max_abs exactly at the old limit must still fit
+        q = qformat_for_range(8, 127 / 128)
+        assert q.frac_bits == 7
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            qformat_for_range(8, 0.0)
+
+    @given(st.floats(min_value=1e-3, max_value=1e3))
+    def test_chosen_format_covers_range(self, max_abs):
+        q = qformat_for_range(12, max_abs)
+        assert q.max_value >= max_abs
+        # one more frac bit would overflow
+        finer = QFormat(12, q.frac_bits + 1)
+        assert finer.max_value < max_abs

@@ -1,0 +1,119 @@
+"""Unit and property tests for quartet layouts (paper Fig. 4)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.fixedpoint.quartet import LAYOUT_8BIT, LAYOUT_12BIT, QuartetLayout
+
+
+class TestLayoutShape:
+    def test_8bit_widths(self):
+        # 8-bit weight: 4-bit R quartet + 3-bit P quartet (sign excluded)
+        assert LAYOUT_8BIT.quartet_widths == (4, 3)
+
+    def test_12bit_widths(self):
+        # 12-bit weight (Fig. 4): R, Q full quartets + 3-bit P
+        assert LAYOUT_12BIT.quartet_widths == (4, 4, 3)
+
+    def test_16bit_widths(self):
+        assert QuartetLayout(16).quartet_widths == (4, 4, 4, 3)
+
+    def test_num_quartets(self):
+        assert LAYOUT_8BIT.num_quartets == 2
+        assert LAYOUT_12BIT.num_quartets == 3
+
+    def test_max_magnitude(self):
+        assert LAYOUT_8BIT.max_magnitude == 127
+        assert LAYOUT_12BIT.max_magnitude == 2047
+
+    def test_quartet_max(self):
+        assert LAYOUT_8BIT.quartet_max(0) == 15
+        assert LAYOUT_8BIT.quartet_max(1) == 7
+
+    def test_rejects_tiny_widths(self):
+        with pytest.raises(ValueError):
+            QuartetLayout(4)
+
+    def test_shift_of(self):
+        assert LAYOUT_12BIT.shift_of(0) == 0
+        assert LAYOUT_12BIT.shift_of(1) == 4
+        assert LAYOUT_12BIT.shift_of(2) == 8
+
+    def test_shift_of_out_of_range(self):
+        with pytest.raises(IndexError):
+            LAYOUT_8BIT.shift_of(2)
+
+
+class TestSplitJoin:
+    def test_paper_w1(self):
+        # W1 = 105 = 0110_1001 -> R=9, P=6
+        assert LAYOUT_8BIT.split(105) == (9, 6)
+
+    def test_paper_w2(self):
+        # W2 = 66 = 0100_0010 -> R=2, P=4
+        assert LAYOUT_8BIT.split(66) == (2, 4)
+
+    def test_12bit_example(self):
+        assert LAYOUT_12BIT.split(0b101_1010_0110) == (6, 10, 5)
+
+    def test_zero(self):
+        assert LAYOUT_8BIT.split(0) == (0, 0)
+
+    def test_max(self):
+        assert LAYOUT_8BIT.split(127) == (15, 7)
+        assert LAYOUT_12BIT.split(2047) == (15, 15, 7)
+
+    def test_join_inverse(self):
+        assert LAYOUT_8BIT.join((9, 6)) == 105
+
+    def test_split_rejects_negative(self):
+        with pytest.raises(ValueError):
+            LAYOUT_8BIT.split(-1)
+
+    def test_split_rejects_overflow(self):
+        with pytest.raises(OverflowError):
+            LAYOUT_8BIT.split(128)
+
+    def test_join_rejects_wrong_count(self):
+        with pytest.raises(ValueError):
+            LAYOUT_8BIT.join((1, 2, 3))
+
+    def test_join_rejects_oversized_quartet(self):
+        with pytest.raises(ValueError):
+            LAYOUT_8BIT.join((16, 0))
+
+    def test_join_rejects_oversized_msb_quartet(self):
+        with pytest.raises(ValueError):
+            LAYOUT_8BIT.join((0, 8))  # P is only 3 bits
+
+
+class TestSplitJoinProperties:
+    @given(st.integers(min_value=0, max_value=127))
+    def test_roundtrip_8bit(self, magnitude):
+        assert LAYOUT_8BIT.join(LAYOUT_8BIT.split(magnitude)) == magnitude
+
+    @given(st.integers(min_value=0, max_value=2047))
+    def test_roundtrip_12bit(self, magnitude):
+        assert LAYOUT_12BIT.join(LAYOUT_12BIT.split(magnitude)) == magnitude
+
+    @given(st.integers(min_value=0, max_value=2047))
+    def test_split_reconstructs_via_shifts(self, magnitude):
+        quartets = LAYOUT_12BIT.split(magnitude)
+        total = sum(q << LAYOUT_12BIT.shift_of(i)
+                    for i, q in enumerate(quartets))
+        assert total == magnitude
+
+    @given(st.integers(min_value=5, max_value=24),
+           st.data())
+    def test_roundtrip_any_width(self, bits, data):
+        layout = QuartetLayout(bits)
+        magnitude = data.draw(
+            st.integers(min_value=0, max_value=layout.max_magnitude))
+        assert layout.join(layout.split(magnitude)) == magnitude
+
+    @given(st.integers(min_value=0, max_value=2047))
+    def test_quartets_within_widths(self, magnitude):
+        quartets = LAYOUT_12BIT.split(magnitude)
+        for value, width in zip(quartets, LAYOUT_12BIT.quartet_widths):
+            assert 0 <= value < (1 << width)

@@ -1,0 +1,50 @@
+"""Tests for the plain-text report helpers."""
+
+import pytest
+
+from repro.hardware.report import format_table, normalized_series
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        out = format_table(["name", "x"], [["a", 1], ["longer", 2]])
+        lines = out.split("\n")
+        assert len({line.index("  ") for line in lines}) >= 1
+        assert lines[0].startswith("name")
+        assert "longer" in lines[3]
+
+    def test_title(self):
+        out = format_table(["a"], [[1]], title="My Table")
+        assert out.splitlines()[0] == "My Table"
+
+    def test_float_formatting(self):
+        out = format_table(["v"], [[0.123456]])
+        assert "0.123" in out
+
+    def test_large_float_formatting(self):
+        out = format_table(["v"], [[12345.678]])
+        assert "12345.7" in out
+
+    def test_row_width_mismatch(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+    def test_empty_rows_ok(self):
+        out = format_table(["a", "b"], [])
+        assert "a" in out and "-" in out
+
+
+class TestNormalizedSeries:
+    def test_default_baseline(self):
+        assert normalized_series([4.0, 2.0, 1.0]) == [1.0, 0.5, 0.25]
+
+    def test_explicit_baseline(self):
+        assert normalized_series([2.0, 4.0], baseline=8.0) == [0.25, 0.5]
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            normalized_series([])
+
+    def test_zero_baseline_rejected(self):
+        with pytest.raises(ValueError):
+            normalized_series([0.0, 1.0])

@@ -1,0 +1,76 @@
+"""Tests for the technology model."""
+
+import pytest
+
+from repro.hardware.technology import (
+    GATE_KINDS,
+    IBM45,
+    GateSpec,
+    TechnologyModel,
+    scaled_technology,
+)
+
+
+class TestGateSpec:
+    def test_fields(self):
+        spec = GateSpec(1.0, 2.0, 3.0)
+        assert (spec.area_um2, spec.energy_fj, spec.delay_ps) == (1.0, 2.0, 3.0)
+
+    def test_scaled(self):
+        spec = GateSpec(1.0, 2.0, 3.0).scaled(area=2, energy=0.5, delay=3)
+        assert spec.area_um2 == 2.0
+        assert spec.energy_fj == 1.0
+        assert spec.delay_ps == 9.0
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            GateSpec(1, 1, 1).area_um2 = 5
+
+
+class TestIBM45:
+    def test_all_kinds_present(self):
+        for kind in GATE_KINDS:
+            assert IBM45.spec(kind) is not None
+
+    def test_feature_size(self):
+        assert IBM45.feature_nm == 45
+
+    def test_fa_bigger_than_nand(self):
+        assert IBM45.area("FA") > IBM45.area("NAND2")
+        assert IBM45.energy("FA") > IBM45.energy("NAND2")
+
+    def test_unknown_kind(self):
+        with pytest.raises(KeyError):
+            IBM45.spec("QUANTUM_GATE")
+
+    def test_accessors_match_spec(self):
+        spec = IBM45.spec("MUX2")
+        assert IBM45.area("MUX2") == spec.area_um2
+        assert IBM45.energy("MUX2") == spec.energy_fj
+        assert IBM45.delay("MUX2") == spec.delay_ps
+
+    def test_gates_mapping_readonly(self):
+        with pytest.raises(TypeError):
+            IBM45.gates["NAND2"] = GateSpec(0, 0, 0)
+
+
+class TestTechnologyValidation:
+    def test_missing_gate_rejected(self):
+        with pytest.raises(ValueError):
+            TechnologyModel("broken", 45, {"NAND2": GateSpec(1, 1, 1)})
+
+
+class TestScaledTechnology:
+    def test_voltage_scaling_quadratic_energy(self):
+        low = scaled_technology(IBM45, "lowv", vdd_ratio=0.8, delay_ratio=1.3)
+        for kind in GATE_KINDS:
+            base = IBM45.spec(kind)
+            scaled = low.spec(kind)
+            assert scaled.energy_fj == pytest.approx(base.energy_fj * 0.64)
+            assert scaled.delay_ps == pytest.approx(base.delay_ps * 1.3)
+            assert scaled.area_um2 == base.area_um2
+
+    def test_name_and_vdd(self):
+        low = scaled_technology(IBM45, "lowv", vdd_ratio=0.9)
+        assert low.name == "lowv"
+        assert low.vdd == pytest.approx(0.9)
