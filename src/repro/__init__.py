@@ -23,8 +23,12 @@ Subpackages
     mixed per-layer alphabet plans (§VI.E).
 ``repro.experiments``
     Drivers reproducing every table and figure of the paper.
+``repro.serving``
+    Deployment stack: versioned compiled-model artifacts, a multi-model
+    registry, dynamic micro-batching and an HTTP inference server that
+    reports the paper's energy story live.
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = ["__version__"]

@@ -137,6 +137,35 @@ def nearest_representable_magnitude(magnitude: int, layout: QuartetLayout,
     return nearest_supported(magnitude, grid)
 
 
+@lru_cache(maxsize=None)
+def _constrainer_table(bits: int, alphabet_set: AlphabetSet,
+                       mode: str) -> np.ndarray:
+    """Process-wide cache of the signed constraining lookup table.
+
+    Every :class:`WeightConstrainer` with the same ``(bits, alphabet_set,
+    mode)`` shares one table, so repeated constructions in ablation sweeps
+    and artifact reloads cost a dict lookup instead of a quartet walk over
+    the whole weight range.  Read-only because it is shared.
+    """
+    layout = QuartetLayout(bits)
+    constrain = (constrain_magnitude_greedy if mode == "greedy"
+                 else nearest_representable_magnitude)
+    max_mag = layout.max_magnitude
+    magnitude_map = np.array(
+        [constrain(m, layout, alphabet_set) for m in range(max_mag + 1)],
+        dtype=np.int64,
+    )
+    # Signed table indexed by (weight + max_mag + 1); index 0 holds the
+    # most negative code, which saturates to -max_mag before constraining
+    # (the datapath multiplies |W| and |−2^(b−1)| is unrepresentable).
+    table = np.empty(2 * max_mag + 2, dtype=np.int64)
+    table[max_mag + 1:] = magnitude_map                      # w >= 0
+    table[1:max_mag + 1] = -magnitude_map[1:][::-1]          # w < 0
+    table[0] = -magnitude_map[max_mag]                       # w == -2^(b-1)
+    table.setflags(write=False)
+    return table
+
+
 @dataclass(frozen=True)
 class ConstraintStats:
     """Summary of the rounding error a constrainer introduces."""
@@ -176,27 +205,7 @@ class WeightConstrainer:
         self.alphabet_set = alphabet_set
         self.mode = mode
         self.layout = QuartetLayout(bits)
-        self._table = self._build_table()
-
-    def _build_table(self) -> np.ndarray:
-        constrain = (constrain_magnitude_greedy if self.mode == "greedy"
-                     else nearest_representable_magnitude)
-        max_mag = self.layout.max_magnitude
-        magnitude_map = np.array(
-            [constrain(m, self.layout, self.alphabet_set)
-             for m in range(max_mag + 1)],
-            dtype=np.int64,
-        )
-        #
-
-        # Signed table indexed by (weight + max_mag + 1); index 0 holds the
-        # most negative code, which saturates to -max_mag before constraining
-        # (the datapath multiplies |W| and |−2^(b−1)| is unrepresentable).
-        table = np.empty(2 * max_mag + 2, dtype=np.int64)
-        table[max_mag + 1:] = magnitude_map                      # w >= 0
-        table[1:max_mag + 1] = -magnitude_map[1:][::-1]          # w < 0
-        table[0] = -magnitude_map[max_mag]                       # w == -2^(b-1)
-        return table
+        self._table = _constrainer_table(bits, alphabet_set, mode)
 
     # ------------------------------------------------------------------
     def constrain(self, weight: int) -> int:

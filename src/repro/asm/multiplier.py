@@ -27,6 +27,8 @@ retained and cross-checked against the table in the tests.
 
 from __future__ import annotations
 
+from functools import lru_cache
+
 import numpy as np
 
 from repro.asm.alphabet import AlphabetSet
@@ -38,6 +40,47 @@ from repro.fixedpoint.quartet import QuartetLayout
 __all__ = ["ConventionalMultiplier", "AlphabetSetMultiplier", "FALLBACK_POLICIES"]
 
 FALLBACK_POLICIES = ("error", "nearest", "truncate")
+
+
+@lru_cache(maxsize=None)
+def _quartet_map(alphabet_set: AlphabetSet, width: int,
+                 fallback: str) -> tuple[int | None, ...]:
+    """Process-wide cache of the quartet remap under a fallback policy."""
+    supported = sorted(alphabet_set.supported_values(width))
+    mapping: list[int | None] = []
+    for value in range(1 << width):
+        if value in alphabet_set.supported_values(width):
+            mapping.append(value)
+        elif fallback == "nearest":
+            mapping.append(nearest_supported(value, tuple(supported)))
+        elif fallback == "truncate":
+            mapping.append(max(s for s in supported if s <= value))
+        else:
+            mapping.append(None)
+    return tuple(mapping)
+
+
+@lru_cache(maxsize=None)
+def _effective_weight_table(bits: int, alphabet_set: AlphabetSet,
+                            fallback: str) -> np.ndarray:
+    """Process-wide cache of the signed effective-weight lookup table.
+
+    Shared by every :class:`AlphabetSetMultiplier` with the same
+    ``(bits, alphabet_set, fallback)`` — repeated :class:`QuantizedNetwork
+    <repro.nn.quantized.QuantizedNetwork>` constructions and the serving
+    stack's :class:`~repro.serving.compiled.CompiledModel` all hit the same
+    table.  The array is marked read-only because it is shared.
+    """
+    multiplier = AlphabetSetMultiplier(bits, alphabet_set, fallback=fallback)
+    offset = 1 << (bits - 1)
+    table = np.empty(2 * offset, dtype=np.int64)
+    for weight in range(-offset, offset):
+        try:
+            table[weight + offset] = multiplier.effective_weight(weight)
+        except UnsupportedQuartetError:
+            table[weight + offset] = AlphabetSetMultiplier._UNSUPPORTED
+    table.setflags(write=False)
+    return table
 
 
 class ConventionalMultiplier:
@@ -91,34 +134,12 @@ class AlphabetSetMultiplier:
         self.fallback = fallback
         self.layout = QuartetLayout(bits)
         self._low, self._high = signed_range(bits)
-        # Per-width quartet remap under the fallback policy.
+        # Per-width quartet remap under the fallback policy (memoized
+        # process-wide: identical (alphabet, width, fallback) share tuples).
         self._quartet_maps = {
-            width: self._build_quartet_map(width)
+            width: _quartet_map(alphabet_set, width, fallback)
             for width in set(self.layout.quartet_widths)
         }
-        self._effective_cache: np.ndarray | None = None
-
-    # ------------------------------------------------------------------
-    # construction helpers
-    # ------------------------------------------------------------------
-    def _build_quartet_map(self, width: int) -> list[int | None]:
-        """Quartet value → value actually realised by the select logic.
-
-        ``None`` marks values that raise under the ``"error"`` policy.
-        """
-        supported = sorted(self.alphabet_set.supported_values(width))
-        mapping: list[int | None] = []
-        for value in range(1 << width):
-            if value in self.alphabet_set.supported_values(width):
-                mapping.append(value)
-            elif self.fallback == "nearest":
-                mapping.append(nearest_supported(value, tuple(supported)))
-            elif self.fallback == "truncate":
-                below = [s for s in supported if s <= value]
-                mapping.append(max(below))
-            else:
-                mapping.append(None)
-        return mapping
 
     # ------------------------------------------------------------------
     # the explicit datapath: pre-compute, select, shift, add
@@ -193,17 +214,12 @@ class AlphabetSetMultiplier:
         Under the ``"error"`` policy, entries for unsupported weights hold
         the sentinel ``_UNSUPPORTED``; :meth:`multiply_array` rejects any
         batch that touches one.
+
+        The table is memoized process-wide on ``(bits, alphabet_set,
+        fallback)`` and returned read-only; copy before mutating.
         """
-        if self._effective_cache is None:
-            offset = 1 << (self.bits - 1)
-            table = np.empty(2 * offset, dtype=np.int64)
-            for weight in range(-offset, offset):
-                try:
-                    table[weight + offset] = self.effective_weight(weight)
-                except UnsupportedQuartetError:
-                    table[weight + offset] = self._UNSUPPORTED
-            self._effective_cache = table
-        return self._effective_cache
+        return _effective_weight_table(self.bits, self.alphabet_set,
+                                       self.fallback)
 
     def multiply_array(self, weights: np.ndarray,
                        operands: np.ndarray) -> np.ndarray:

@@ -4,7 +4,14 @@ Usage::
 
     python -m repro.experiments.runner --experiment all          # quick tier
     python -m repro.experiments.runner --experiment fig7 --full  # paper tier
+    python -m repro.experiments.runner --experiment export       # serving
     python -m repro.experiments.runner --list
+
+Experiments ``table1``–``table5`` and ``fig7``–``fig11`` reproduce the
+paper; ``export`` runs the deployment path (train → constrain → export a
+:mod:`repro.serving` artifact under ``results/artifacts/`` → reload → verify
+bit-identical scores), producing a bundle that ``python -m repro.serving``
+can serve.
 
 Each experiment prints its table(s) and, when ``--json`` is given, appends a
 machine-readable record to ``results/<experiment>.json``.
@@ -24,6 +31,7 @@ from repro.experiments.accuracy import (
 )
 from repro.experiments.config import ACCURACY_APPS
 from repro.experiments.energy import format_energy_table, run_figure9
+from repro.experiments.export import format_export_table, run_export
 from repro.experiments.mixed import format_figure11_table, run_figure11
 from repro.experiments.power_area import (
     format_hardware_table,
@@ -90,11 +98,14 @@ def run_experiment(name: str, full: bool = False,
         rows = run_figure11(full=full, seed=seed)
         return format_figure11_table(
             rows, "Fig 11 - mixed-alphabet accuracy and energy"), rows
+    if name == "export":
+        report = run_export(full=full, seed=seed)
+        return format_export_table(report), report
     raise ValueError(f"unknown experiment {name!r}; see --list")
 
 
 EXPERIMENTS = ("table1", "table2", "table3", "table4", "table5",
-               "fig7", "fig8", "fig9", "fig10", "fig11")
+               "fig7", "fig8", "fig9", "fig10", "fig11", "export")
 
 
 def main(argv: list[str] | None = None) -> int:

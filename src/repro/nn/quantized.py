@@ -104,7 +104,25 @@ class QuantizationSpec:
 
 
 class _QuantLayer:
-    """Base for the quantised layer stack."""
+    """Base for the quantised layer stack.
+
+    Each parameterised subclass is constructible two ways: from a float
+    layer (:meth:`from_layer`, the training → deployment path) or directly
+    from the already-folded integer arrays (the
+    :mod:`repro.serving.artifact` reload path).  Both construct the exact
+    same object, so a reloaded network's forward pass is bit-identical.
+    """
+
+    #: Serialisation tag used by :mod:`repro.serving.artifact`.
+    kind = "base"
+
+    name: str | None = None
+
+    #: Alphabet set the layer's weights were folded for (``None`` =
+    #: conventional multiplier).  Per-layer because mixed deployments
+    #: (§VI.E) quantise each layer under its own spec; the serving stack
+    #: costs energy from it.
+    alphabets: tuple[int, ...] | None = None
 
     def forward(self, x_int: np.ndarray, x_fmt: QFormat,
                 ) -> tuple[np.ndarray, QFormat]:
@@ -125,14 +143,31 @@ def _requantize(real_values: np.ndarray, activation: Activation | None,
 
 
 class _QuantDense(_QuantLayer):
-    def __init__(self, layer: Dense, spec: QuantizationSpec,
-                 act_fmt: QFormat, lut: SigmoidLUT | None) -> None:
-        self.w_int, self.w_fmt = spec.quantize_weights(layer.params["W"])
-        self.bias = layer.params["b"].copy()
-        self.activation = layer.activation
+    kind = "dense"
+
+    def __init__(self, w_int: np.ndarray, w_fmt: QFormat, bias: np.ndarray,
+                 activation: Activation, act_fmt: QFormat,
+                 lut: SigmoidLUT | None, is_output: bool = False,
+                 name: str | None = None) -> None:
+        self.w_int = np.ascontiguousarray(w_int, dtype=np.int64)
+        self.w_fmt = w_fmt
+        self.bias = np.asarray(bias, dtype=np.float64)
+        self.activation = activation
         self.act_fmt = act_fmt
-        self.lut = lut if layer.activation.name == "sigmoid" else None
-        self.is_output = False  # set by QuantizedNetwork
+        self.lut = lut
+        self.is_output = is_output  # set by QuantizedNetwork
+        self.name = name
+
+    @classmethod
+    def from_layer(cls, layer: Dense, spec: QuantizationSpec,
+                   act_fmt: QFormat, lut: SigmoidLUT | None) -> "_QuantDense":
+        w_int, w_fmt = spec.quantize_weights(layer.params["W"])
+        quant = cls(w_int, w_fmt, layer.params["b"].copy(), layer.activation,
+                    act_fmt, lut if layer.activation.name == "sigmoid"
+                    else None, name=layer.name)
+        quant.alphabets = (tuple(spec.alphabet_set)
+                           if spec.alphabet_set is not None else None)
+        return quant
 
     def forward(self, x_int: np.ndarray, x_fmt: QFormat):
         acc = x_int @ self.w_int                       # exact integer MACs
@@ -145,15 +180,32 @@ class _QuantDense(_QuantLayer):
 
 
 class _QuantConv(_QuantLayer):
-    def __init__(self, layer: Conv2D, spec: QuantizationSpec,
-                 act_fmt: QFormat, lut: SigmoidLUT | None) -> None:
-        self.w_int, self.w_fmt = spec.quantize_weights(layer.params["W"])
-        self.bias = layer.params["b"].copy()
-        self.kernel = layer.kernel
-        self.out_channels = layer.out_channels
-        self.activation = layer.activation
+    kind = "conv"
+
+    def __init__(self, w_int: np.ndarray, w_fmt: QFormat, bias: np.ndarray,
+                 kernel: int, activation: Activation, act_fmt: QFormat,
+                 lut: SigmoidLUT | None, name: str | None = None) -> None:
+        self.w_int = np.ascontiguousarray(w_int, dtype=np.int64)
+        self.w_fmt = w_fmt
+        self.bias = np.asarray(bias, dtype=np.float64)
+        self.kernel = kernel
+        self.out_channels = self.w_int.shape[0]
+        self.activation = activation
         self.act_fmt = act_fmt
-        self.lut = lut if layer.activation.name == "sigmoid" else None
+        self.lut = lut
+        self.name = name
+
+    @classmethod
+    def from_layer(cls, layer: Conv2D, spec: QuantizationSpec,
+                   act_fmt: QFormat, lut: SigmoidLUT | None) -> "_QuantConv":
+        w_int, w_fmt = spec.quantize_weights(layer.params["W"])
+        quant = cls(w_int, w_fmt, layer.params["b"].copy(), layer.kernel,
+                    layer.activation, act_fmt,
+                    lut if layer.activation.name == "sigmoid" else None,
+                    name=layer.name)
+        quant.alphabets = (tuple(spec.alphabet_set)
+                           if spec.alphabet_set is not None else None)
+        return quant
 
     def forward(self, x_int: np.ndarray, x_fmt: QFormat):
         batch, _, height, width = x_int.shape
@@ -171,15 +223,33 @@ class _QuantConv(_QuantLayer):
 
 
 class _QuantPool(_QuantLayer):
-    def __init__(self, layer: ScaledAvgPool2D, spec: QuantizationSpec,
-                 act_fmt: QFormat, lut: SigmoidLUT | None) -> None:
-        self.gain_int, self.gain_fmt = spec.quantize_weights(
-            layer.params["gain"])
-        self.bias = layer.params["bias"].copy()
-        self.size = layer.size
-        self.activation = layer.activation
+    kind = "pool"
+
+    def __init__(self, gain_int: np.ndarray, gain_fmt: QFormat,
+                 bias: np.ndarray, size: int, activation: Activation,
+                 act_fmt: QFormat, lut: SigmoidLUT | None,
+                 name: str | None = None) -> None:
+        self.gain_int = np.ascontiguousarray(gain_int, dtype=np.int64)
+        self.gain_fmt = gain_fmt
+        self.bias = np.asarray(bias, dtype=np.float64)
+        self.size = size
+        self.channels = self.gain_int.shape[0]
+        self.activation = activation
         self.act_fmt = act_fmt
-        self.lut = lut if layer.activation.name == "sigmoid" else None
+        self.lut = lut
+        self.name = name
+
+    @classmethod
+    def from_layer(cls, layer: ScaledAvgPool2D, spec: QuantizationSpec,
+                   act_fmt: QFormat, lut: SigmoidLUT | None) -> "_QuantPool":
+        gain_int, gain_fmt = spec.quantize_weights(layer.params["gain"])
+        quant = cls(gain_int, gain_fmt, layer.params["bias"].copy(),
+                    layer.size, layer.activation, act_fmt,
+                    lut if layer.activation.name == "sigmoid" else None,
+                    name=layer.name)
+        quant.alphabets = (tuple(spec.alphabet_set)
+                           if spec.alphabet_set is not None else None)
+        return quant
 
     def forward(self, x_int: np.ndarray, x_fmt: QFormat):
         batch, channels, height, width = x_int.shape
@@ -195,6 +265,11 @@ class _QuantPool(_QuantLayer):
 
 
 class _QuantFlatten(_QuantLayer):
+    kind = "flatten"
+
+    def __init__(self, name: str | None = None) -> None:
+        self.name = name
+
     def forward(self, x_int: np.ndarray, x_fmt: QFormat):
         return x_int.reshape(x_int.shape[0], -1), x_fmt
 
@@ -208,10 +283,15 @@ class QuantizedNetwork:
     """
 
     def __init__(self, layers: list[_QuantLayer], act_fmt: QFormat,
-                 spec: QuantizationSpec) -> None:
+                 spec: QuantizationSpec, name: str = "network",
+                 input_spatial: tuple[int, int] | None = None,
+                 use_lut: bool = False) -> None:
         self.layers = layers
         self.act_fmt = act_fmt
         self.spec = spec
+        self.name = name
+        self.input_spatial = input_spatial
+        self.use_lut = use_lut
 
     @classmethod
     def from_float(cls, network: Sequential, spec: QuantizationSpec,
@@ -247,13 +327,16 @@ class QuantizedNetwork:
         layers: list[_QuantLayer] = []
         for layer in network.layers:
             if isinstance(layer, Dense):
-                layers.append(_QuantDense(layer, next_spec(), act_fmt, lut))
+                layers.append(_QuantDense.from_layer(
+                    layer, next_spec(), act_fmt, lut))
             elif isinstance(layer, Conv2D):
-                layers.append(_QuantConv(layer, next_spec(), act_fmt, lut))
+                layers.append(_QuantConv.from_layer(
+                    layer, next_spec(), act_fmt, lut))
             elif isinstance(layer, ScaledAvgPool2D):
-                layers.append(_QuantPool(layer, next_spec(), act_fmt, lut))
+                layers.append(_QuantPool.from_layer(
+                    layer, next_spec(), act_fmt, lut))
             elif isinstance(layer, Flatten):
-                layers.append(_QuantFlatten())
+                layers.append(_QuantFlatten(name=layer.name))
             else:
                 raise TypeError(
                     f"cannot quantise layer type {type(layer).__name__}"
@@ -262,7 +345,8 @@ class QuantizedNetwork:
                       if isinstance(q, (_QuantDense,))]
         if dense_like:
             dense_like[-1].is_output = True
-        return cls(layers, act_fmt, spec)
+        return cls(layers, act_fmt, spec, name=network.name,
+                   input_spatial=network.input_spatial, use_lut=use_lut)
 
     # ------------------------------------------------------------------
     def forward(self, x: np.ndarray) -> np.ndarray:
@@ -292,3 +376,16 @@ class QuantizedNetwork:
         """Quantised layers that carry a synapse matrix."""
         return [q for q in self.layers
                 if isinstance(q, (_QuantDense, _QuantConv))]
+
+    # ------------------------------------------------------------------
+    def export(self, path: str, name: str | None = None) -> str:
+        """Persist this network as a serving artifact bundle at *path*.
+
+        Convenience hook into :func:`repro.serving.artifact.save_artifact`;
+        the bundle reloads (via :func:`repro.serving.artifact.load_artifact`
+        or :class:`repro.serving.compiled.CompiledModel`) to a network whose
+        forward pass is bit-identical to this one.
+        """
+        from repro.serving.artifact import save_artifact
+
+        return save_artifact(self, path, name=name)

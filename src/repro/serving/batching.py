@@ -1,0 +1,219 @@
+"""Dynamic micro-batching: coalesce single requests into batched passes.
+
+The integer-matmul forward pass is dramatically cheaper per sample when
+batched (see ``benchmarks/bench_serving_throughput.py``), so the server
+never runs one sample at a time: requests enter a queue, a worker thread
+drains it, groups requests by model key, and runs one forward pass per
+group.  A request waits at most ``max_latency_ms`` for co-riders and a
+batch never exceeds ``max_batch_size`` samples.
+
+Each :meth:`MicroBatcher.submit` returns a
+:class:`concurrent.futures.Future` resolving to the score rows for that
+request — batching is invisible to callers, and because the batched forward
+is row-wise exact integer arithmetic, results are bit-identical to an
+unbatched pass.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from concurrent.futures import Future, InvalidStateError
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.serving.metrics import ServingMetrics
+
+__all__ = ["BatchSettings", "MicroBatcher"]
+
+
+@dataclass(frozen=True)
+class BatchSettings:
+    """Tunables for the micro-batching queue."""
+
+    max_batch_size: int = 64
+    max_latency_ms: float = 5.0
+
+    def __post_init__(self) -> None:
+        if self.max_batch_size < 1:
+            raise ValueError("max_batch_size must be >= 1")
+        if self.max_latency_ms < 0:
+            raise ValueError("max_latency_ms must be >= 0")
+
+
+class _Request:
+    __slots__ = ("key", "x", "future", "enqueued")
+
+    def __init__(self, key, x: np.ndarray) -> None:
+        self.key = key
+        self.x = x
+        self.future: Future = Future()
+        self.enqueued = time.monotonic()
+
+
+class MicroBatcher:
+    """Background worker that batches predict requests per model key.
+
+    Parameters
+    ----------
+    resolve:
+        ``key -> model`` callable; a model only needs ``forward``.  Pass
+        ``registry.get`` (or ``lambda key: registry.get(*key)`` for
+        ``(name, version)`` keys) to serve from a
+        :class:`~repro.serving.registry.ModelRegistry`; pass
+        ``lambda _key: model`` for a single model.
+    settings:
+        Batch size / latency bounds.
+    metrics:
+        Optional :class:`ServingMetrics` fed batch sizes and queue depth.
+    """
+
+    def __init__(self, resolve: Callable[[object], object],
+                 settings: BatchSettings | None = None,
+                 metrics: ServingMetrics | None = None) -> None:
+        self._resolve = resolve
+        self.settings = settings or BatchSettings()
+        self.metrics = metrics
+        self._queue: queue.Queue[_Request | None] = queue.Queue()
+        self._closed = False
+        self._lock = threading.Lock()
+        self._worker = threading.Thread(target=self._run, daemon=True,
+                                        name="repro-microbatcher")
+        self._worker.start()
+
+    # ------------------------------------------------------------------
+    # client API
+    # ------------------------------------------------------------------
+    def submit(self, key, x: np.ndarray) -> Future:
+        """Enqueue one request; resolves to the score rows for *x*.
+
+        *x* may be a single sample (feature vector / image) or a small
+        batch; a leading batch axis is added for single samples.
+        """
+        # convert/validate outside the lock — payloads can be large and
+        # concurrent submitters are the normal case
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim in (1, 3):            # one flat sample / one image
+            x = x[np.newaxis]
+        if x.ndim not in (2, 4):
+            raise ValueError(
+                f"expected a sample or batch, got shape {x.shape}")
+        request = _Request(key, x)
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("MicroBatcher is closed")
+            self._queue.put(request)
+        if self.metrics is not None:
+            self.metrics.set_queue_depth(self._queue.qsize())
+        return request.future
+
+    def predict(self, key, x: np.ndarray, timeout: float | None = 10.0,
+                ) -> np.ndarray:
+        """Synchronous helper: submit and wait for the scores."""
+        return self.submit(key, x).result(timeout=timeout)
+
+    def close(self, timeout: float | None = 5.0) -> None:
+        """Drain outstanding requests and stop the worker."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+        self._queue.put(None)
+        self._worker.join(timeout=timeout)
+
+    def __enter__(self) -> "MicroBatcher":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # worker
+    # ------------------------------------------------------------------
+    def _collect(self, first: _Request) -> tuple[list[_Request], bool]:
+        """Gather co-riders for *first* until size or latency bound."""
+        batch = [first]
+        samples = len(first.x)
+        deadline = first.enqueued + self.settings.max_latency_ms / 1e3
+        stop = False
+        while samples < self.settings.max_batch_size:
+            wait = deadline - time.monotonic()
+            try:
+                item = (self._queue.get_nowait() if wait <= 0
+                        else self._queue.get(timeout=wait))
+            except queue.Empty:
+                break
+            if item is None:
+                stop = True
+                break
+            batch.append(item)
+            samples += len(item.x)
+        return batch, stop
+
+    @staticmethod
+    def _resolve_future(future: Future, result=None,
+                        error: Exception | None = None) -> None:
+        """Set a future's outcome, tolerating a concurrent cancel().
+
+        The client owns the future and may cancel between our check and the
+        set — swallowing :class:`InvalidStateError` keeps the worker thread
+        alive (a dead worker would hang every later request forever).
+        """
+        try:
+            if error is not None:
+                future.set_exception(error)
+            else:
+                future.set_result(result)
+        except InvalidStateError:
+            pass
+
+    def _flush(self, batch: list[_Request]) -> None:
+        """Run one forward pass per model key and resolve futures."""
+        # group on (key, sample shape) so one malformed request cannot
+        # break np.concatenate — and thereby the batch — for its co-riders
+        groups: dict[object, list[_Request]] = {}
+        for request in batch:
+            groups.setdefault((request.key, request.x.shape[1:]),
+                              []).append(request)
+        for (key, _shape), requests in groups.items():
+            try:
+                model = self._resolve(key)
+                scores = model.forward(
+                    np.concatenate([r.x for r in requests], axis=0))
+            except Exception as error:
+                for request in requests:
+                    self._resolve_future(request.future, error=error)
+                continue
+            if self.metrics is not None:
+                self.metrics.record_batch(len(scores))
+            offset = 0
+            for request in requests:
+                rows = scores[offset:offset + len(request.x)]
+                offset += len(request.x)
+                self._resolve_future(request.future, result=rows)
+
+    def _run(self) -> None:
+        while True:
+            item = self._queue.get()
+            if item is None:
+                break
+            batch, stop = self._collect(item)
+            if self.metrics is not None:
+                self.metrics.set_queue_depth(self._queue.qsize())
+            self._flush(batch)
+            if stop:
+                break
+        # drain anything enqueued before close() won the lock
+        leftovers: list[_Request] = []
+        while True:
+            try:
+                item = self._queue.get_nowait()
+            except queue.Empty:
+                break
+            if item is not None:
+                leftovers.append(item)
+        if leftovers:
+            self._flush(leftovers)

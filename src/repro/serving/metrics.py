@@ -1,0 +1,121 @@
+"""Serving metrics: throughput, latency, queue depth — and energy.
+
+The paper's claim is energy per inference; serving reports it live by
+multiplying each model's estimated per-inference energy (from
+:meth:`repro.serving.compiled.CompiledModel.energy_per_inference_nj`, which
+costs the CSHM engine of :mod:`repro.hardware.engine`) by the samples it
+served.  All counters are thread-safe; latency percentiles come from a
+bounded rolling window so a long-lived server stays O(1) in memory.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Any
+
+__all__ = ["ServingMetrics"]
+
+#: Rolling-window size for latency/batch-size percentiles.
+_WINDOW = 2048
+
+
+def _percentile(window: list[float], fraction: float) -> float:
+    if not window:
+        return 0.0
+    ordered = sorted(window)
+    index = min(len(ordered) - 1, int(fraction * len(ordered)))
+    return ordered[index]
+
+
+class ServingMetrics:
+    """Thread-safe counters for one serving process."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._started = time.monotonic()
+        self._requests = 0
+        self._samples = 0
+        self._batches = 0
+        self._errors = 0
+        self._energy_nj = 0.0
+        self._latencies: deque[float] = deque(maxlen=_WINDOW)
+        self._batch_sizes: deque[int] = deque(maxlen=_WINDOW)
+        self._queue_depth = 0
+        self._per_model: dict[str, dict[str, float]] = {}
+
+    # ------------------------------------------------------------------
+    # recording
+    # ------------------------------------------------------------------
+    def record_request(self, model: str, samples: int, latency_s: float,
+                       energy_nj: float | None = None) -> None:
+        """One completed predict request of *samples* inputs."""
+        with self._lock:
+            self._requests += 1
+            self._samples += samples
+            self._latencies.append(latency_s)
+            if energy_nj is not None:
+                self._energy_nj += energy_nj
+            slot = self._per_model.setdefault(
+                model, {"requests": 0, "samples": 0, "energy_nj": 0.0})
+            slot["requests"] += 1
+            slot["samples"] += samples
+            if energy_nj is not None:
+                slot["energy_nj"] += energy_nj
+
+    def record_batch(self, size: int) -> None:
+        """One coalesced forward pass of *size* samples."""
+        with self._lock:
+            self._batches += 1
+            self._batch_sizes.append(size)
+
+    def record_error(self) -> None:
+        with self._lock:
+            self._errors += 1
+
+    def set_queue_depth(self, depth: int) -> None:
+        with self._lock:
+            self._queue_depth = depth
+
+    # ------------------------------------------------------------------
+    # reading
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict[str, Any]:
+        """JSON-able view of every counter (the ``/stats`` payload)."""
+        with self._lock:
+            uptime = time.monotonic() - self._started
+            latencies = list(self._latencies)
+            batch_sizes = list(self._batch_sizes)
+            return {
+                "uptime_s": round(uptime, 3),
+                "requests_total": self._requests,
+                "samples_total": self._samples,
+                "batches_total": self._batches,
+                "errors_total": self._errors,
+                "queue_depth": self._queue_depth,
+                "throughput_samples_per_s": (
+                    round(self._samples / uptime, 3) if uptime > 0 else 0.0),
+                "latency_ms": {
+                    "mean": round(1e3 * sum(latencies) / len(latencies), 3)
+                    if latencies else 0.0,
+                    "p50": round(1e3 * _percentile(latencies, 0.50), 3),
+                    "p95": round(1e3 * _percentile(latencies, 0.95), 3),
+                    "max": round(1e3 * max(latencies), 3)
+                    if latencies else 0.0,
+                },
+                "batch_size": {
+                    "mean": round(sum(batch_sizes) / len(batch_sizes), 3)
+                    if batch_sizes else 0.0,
+                    "max": max(batch_sizes) if batch_sizes else 0,
+                },
+                "energy": {
+                    "total_nj": round(self._energy_nj, 3),
+                    "total_uj": round(self._energy_nj * 1e-3, 6),
+                    "mean_nj_per_sample": (
+                        round(self._energy_nj / self._samples, 3)
+                        if self._samples else 0.0),
+                },
+                "models": {name: dict(slot)
+                           for name, slot in sorted(self._per_model.items())},
+            }

@@ -1,0 +1,145 @@
+"""Named, versioned multi-model registry.
+
+One serving process can hold the digit, face, SVHN and TICH models (and
+several versions of each) simultaneously; the batching queue and HTTP front
+end resolve ``(name, version)`` keys through a :class:`ModelRegistry`.
+Thread-safe — registration and lookup may race with serving traffic.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+
+from repro.serving.compiled import CompiledModel
+
+__all__ = ["ModelEntry", "ModelRegistry", "default_registry"]
+
+
+@dataclass(frozen=True)
+class ModelEntry:
+    """One registered (name, version) slot."""
+
+    name: str
+    version: int
+    model: CompiledModel
+    path: str | None = None
+    registered_at: float = field(default_factory=time.time)
+
+    @property
+    def key(self) -> str:
+        return f"{self.name}@v{self.version}"
+
+
+class ModelRegistry:
+    """Register / resolve / list / evict compiled models by name+version.
+
+    Versions are positive integers; ``version=None`` on lookup or eviction
+    means "latest".  Registering without an explicit version auto-assigns
+    one past the highest version ever registered under that name (evicted
+    versions are not reused, so a ``(name, version)`` key never silently
+    changes meaning).
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.RLock()
+        self._models: dict[str, dict[int, ModelEntry]] = {}
+        # highest version ever registered per name; survives eviction so
+        # auto-assigned versions are never reused for a different model
+        self._high_water: dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    def register(self, model: CompiledModel | str,
+                 name: str | None = None,
+                 version: int | None = None) -> ModelEntry:
+        """Add a model (a :class:`CompiledModel` or an artifact path).
+
+        Returns the created :class:`ModelEntry`.  Re-registering an existing
+        ``(name, version)`` raises ``ValueError`` — evict first to replace.
+        """
+        path: str | None = None
+        if isinstance(model, str):
+            path = model
+            model = CompiledModel.load(model)
+        name = name or model.name
+        with self._lock:
+            versions = self._models.setdefault(name, {})
+            if version is None:
+                version = self._high_water.get(name, 0) + 1
+            elif version < 1:
+                raise ValueError(f"version must be >= 1, got {version}")
+            if version in versions:
+                raise ValueError(
+                    f"model {name!r} version {version} already registered")
+            entry = ModelEntry(name=name, version=version, model=model,
+                               path=path)
+            versions[version] = entry
+            self._high_water[name] = max(self._high_water.get(name, 0),
+                                         version)
+            return entry
+
+    # ------------------------------------------------------------------
+    def entry(self, name: str, version: int | None = None) -> ModelEntry:
+        """The :class:`ModelEntry` for ``(name, version)`` (latest when
+        *version* is ``None``)."""
+        with self._lock:
+            versions = self._models.get(name)
+            if not versions:
+                raise KeyError(f"no model named {name!r}; "
+                               f"registered: {sorted(self._models)}")
+            if version is None:
+                version = max(versions)
+            try:
+                return versions[version]
+            except KeyError:
+                raise KeyError(
+                    f"model {name!r} has no version {version}; "
+                    f"available: {sorted(versions)}") from None
+
+    def get(self, name: str, version: int | None = None) -> CompiledModel:
+        """Resolve a compiled model (latest version by default)."""
+        return self.entry(name, version).model
+
+    def list_models(self) -> list[ModelEntry]:
+        """All entries, sorted by (name, version)."""
+        with self._lock:
+            return [entry
+                    for name in sorted(self._models)
+                    for _, entry in sorted(self._models[name].items())]
+
+    def evict(self, name: str, version: int | None = None) -> int:
+        """Remove one version (or every version when ``None``) of *name*.
+
+        Returns the number of entries removed; unknown names remove 0.
+        """
+        with self._lock:
+            versions = self._models.get(name)
+            if not versions:
+                return 0
+            if version is None:
+                removed = len(versions)
+                del self._models[name]
+                return removed
+            if versions.pop(version, None) is None:
+                return 0
+            if not versions:
+                del self._models[name]
+            return 1
+
+    # ------------------------------------------------------------------
+    def __contains__(self, name: str) -> bool:
+        with self._lock:
+            return name in self._models
+
+    def __len__(self) -> int:
+        with self._lock:
+            return sum(len(v) for v in self._models.values())
+
+
+_DEFAULT = ModelRegistry()
+
+
+def default_registry() -> ModelRegistry:
+    """The process-wide registry used by the CLI server by default."""
+    return _DEFAULT

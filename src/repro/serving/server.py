@@ -1,0 +1,232 @@
+"""Stdlib HTTP front end for the serving stack.
+
+Endpoints (all JSON):
+
+* ``GET  /health``  — liveness + registered model list,
+* ``GET  /models``  — registry detail (name, version, spec label, energy),
+* ``GET  /stats``   — :class:`~repro.serving.metrics.ServingMetrics`
+  snapshot (throughput, latency percentiles, queue depth, energy totals),
+* ``POST /predict`` — ``{"model": name, "inputs": [[...], ...],
+  "version": optional int}`` → ``{"predictions": [...], "scores": ...}``.
+
+Run from a checkout::
+
+    PYTHONPATH=src python -m repro.serving results/artifacts/digits
+
+or, after ``pip install -e .``, via the ``repro-serve`` console script.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+import numpy as np
+
+from repro.serving.batching import BatchSettings, MicroBatcher
+from repro.serving.metrics import ServingMetrics
+from repro.serving.registry import ModelRegistry, default_registry
+
+__all__ = ["ServingServer", "create_server", "main"]
+
+
+class ServingServer(ThreadingHTTPServer):
+    """HTTP server owning the registry, batcher and metrics."""
+
+    daemon_threads = True
+    # the socketserver default backlog (5) resets connections under
+    # concurrent bursts; batching exists precisely for those
+    request_queue_size = 128
+
+    def __init__(self, address: tuple[str, int],
+                 registry: ModelRegistry,
+                 settings: BatchSettings | None = None) -> None:
+        super().__init__(address, _Handler)
+        self.registry = registry
+        self.metrics = ServingMetrics()
+        self.batcher = MicroBatcher(
+            lambda key: registry.get(*key), settings=settings,
+            metrics=self.metrics)
+
+    def shutdown(self) -> None:
+        """Stop the HTTP loop, drain the batcher, release the socket."""
+        super().shutdown()
+        self.batcher.close()
+        self.server_close()
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server: ServingServer
+
+    # silence per-request stderr lines; metrics carry the signal
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        pass
+
+    # ------------------------------------------------------------------
+    def _send_json(self, payload: dict, status: int = 200) -> None:
+        body = json.dumps(payload).encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_error_json(self, status: int, message: str) -> None:
+        self.server.metrics.record_error()
+        self._send_json({"error": message}, status=status)
+
+    # ------------------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 - stdlib API
+        if self.path == "/health":
+            entries = self.server.registry.list_models()
+            self._send_json({
+                "status": "ok",
+                "models": [entry.key for entry in entries],
+            })
+        elif self.path == "/stats":
+            self._send_json(self.server.metrics.snapshot())
+        elif self.path == "/models":
+            payload = []
+            for entry in self.server.registry.list_models():
+                model = entry.model
+                payload.append({
+                    "name": entry.name,
+                    "version": entry.version,
+                    "spec": model.spec_label,
+                    "bits": model.bits,
+                    "params": model.num_params,
+                    "path": entry.path,
+                    "energy_nj_per_inference":
+                        model.energy_per_inference_nj(),
+                })
+            self._send_json({"models": payload})
+        else:
+            self._send_error_json(404, f"unknown path {self.path!r}")
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib API
+        if self.path != "/predict":
+            self._send_error_json(404, f"unknown path {self.path!r}")
+            return
+        started = time.monotonic()
+        try:
+            length = int(self.headers.get("Content-Length", 0))
+            request = json.loads(self.rfile.read(length) or b"{}")
+        except (ValueError, json.JSONDecodeError):
+            self._send_error_json(400, "body is not valid JSON")
+            return
+        name = request.get("model")
+        if not name:
+            self._send_error_json(400, "missing 'model'")
+            return
+        version = request.get("version")
+        try:
+            inputs = np.asarray(request.get("inputs"), dtype=np.float64)
+        except (TypeError, ValueError):
+            self._send_error_json(400, "'inputs' is not a numeric array")
+            return
+        if inputs.ndim not in (1, 2, 3, 4):
+            self._send_error_json(
+                400, f"'inputs' has unsupported rank {inputs.ndim}")
+            return
+        try:
+            # resolve once and pin the version, so the batch, the energy
+            # estimate and the metrics all describe the same model even if
+            # the registry is mutated mid-request
+            entry = self.server.registry.entry(name, version)
+            future = self.server.batcher.submit((name, entry.version),
+                                                inputs)
+            scores = future.result(timeout=30.0)
+        except KeyError as error:
+            self._send_error_json(
+                404, str(error.args[0]) if error.args else str(error))
+            return
+        except ValueError as error:
+            # shape/rank mismatches between the inputs and the model
+            self._send_error_json(400, f"bad inputs: {error}")
+            return
+        except Exception as error:  # noqa: BLE001 - report, don't crash
+            self._send_error_json(500, f"{type(error).__name__}: {error}")
+            return
+        latency = time.monotonic() - started
+        per_inference = entry.model.energy_per_inference_nj()
+        energy = (per_inference * len(scores)
+                  if per_inference is not None else None)
+        self.server.metrics.record_request(
+            model=entry.key, samples=len(scores), latency_s=latency,
+            energy_nj=energy)
+        self._send_json({
+            "model": name,
+            "predictions": np.argmax(scores, axis=1).tolist(),
+            "scores": np.asarray(scores).tolist(),
+            "latency_ms": round(latency * 1e3, 3),
+            "energy_nj_est": energy,
+        })
+
+
+# ----------------------------------------------------------------------
+def create_server(registry: ModelRegistry, host: str = "127.0.0.1",
+                  port: int = 0,
+                  settings: BatchSettings | None = None) -> ServingServer:
+    """Build a :class:`ServingServer` (``port=0`` → ephemeral port)."""
+    return ServingServer((host, port), registry, settings=settings)
+
+
+def serve_forever(server: ServingServer) -> None:
+    """Blocking serve loop with clean Ctrl-C shutdown."""
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        shutdown = threading.Thread(target=server.shutdown)
+        shutdown.start()
+        shutdown.join()
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-serve",
+        description="Serve exported ASM model artifacts over HTTP")
+    parser.add_argument(
+        "artifacts", nargs="+", metavar="[NAME=]PATH",
+        help="artifact bundle directory, optionally renamed via NAME=PATH")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8100)
+    parser.add_argument("--max-batch-size", type=int, default=64,
+                        help="samples per coalesced forward pass")
+    parser.add_argument("--max-latency-ms", type=float, default=5.0,
+                        help="longest a request waits for co-riders")
+    args = parser.parse_args(argv)
+
+    from repro.serving.artifact import ArtifactError
+
+    registry = default_registry()
+    for item in args.artifacts:
+        name, _, path = item.rpartition("=")
+        try:
+            entry = registry.register(path, name=name or None)
+        except ArtifactError as error:
+            print(f"error: cannot register {path!r}: {error}")
+            return 1
+        energy = entry.model.energy_per_inference_nj()
+        energy_text = (f"{energy:.1f} nJ/inference"
+                       if energy is not None else "energy n/a")
+        print(f"registered {entry.key}: {entry.model.spec_label}, "
+              f"{entry.model.num_params} params, {energy_text}")
+
+    server = create_server(
+        registry, host=args.host, port=args.port,
+        settings=BatchSettings(max_batch_size=args.max_batch_size,
+                               max_latency_ms=args.max_latency_ms))
+    host, port = server.server_address[:2]
+    print(f"serving {len(registry)} model(s) on http://{host}:{port} "
+          f"(POST /predict, GET /health /models /stats)")
+    serve_forever(server)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

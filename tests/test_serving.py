@@ -1,0 +1,390 @@
+"""Tests for the serving stack: artifacts, compiled models, registry,
+micro-batching and the HTTP front end."""
+
+import json
+import os
+import threading
+import urllib.error
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro.asm.alphabet import ALPHA_1, ALPHA_2
+from repro.asm.constraints import WeightConstrainer
+from repro.asm.multiplier import AlphabetSetMultiplier
+from repro.datasets.registry import lenet, mlp
+from repro.nn.quantized import QuantizationSpec, QuantizedNetwork
+from repro.serving import (
+    ArtifactIntegrityError,
+    BatchSettings,
+    CompiledModel,
+    MicroBatcher,
+    ModelRegistry,
+    ServingMetrics,
+    create_server,
+    load_artifact,
+    read_manifest,
+)
+from repro.serving.artifact import ARRAYS_NAME, MANIFEST_NAME, ArtifactError
+
+RNG = np.random.default_rng(7)
+
+
+def make_quantized(seed: int = 3, constrained: bool = True,
+                   use_lut: bool = False) -> QuantizedNetwork:
+    """A small (untrained) digits MLP lowered onto the ASM engine."""
+    net = mlp([1024, 24, 10], seed=seed, name="digits")
+    if constrained:
+        spec = QuantizationSpec(8, ALPHA_2,
+                                constrainer=WeightConstrainer(8, ALPHA_2))
+    else:
+        spec = QuantizationSpec(8)
+    return QuantizedNetwork.from_float(net, spec, use_lut=use_lut)
+
+
+@pytest.fixture
+def exported(tmp_path):
+    quantized = make_quantized()
+    path = quantized.export(str(tmp_path / "digits"))
+    return quantized, path
+
+
+def sample_batch(n: int = 16) -> np.ndarray:
+    return RNG.uniform(-1.0, 1.0, size=(n, 1024))
+
+
+class TestArtifactRoundTrip:
+    def test_logits_bit_identical(self, exported):
+        quantized, path = exported
+        x = sample_batch()
+        reloaded = load_artifact(path)
+        assert np.array_equal(quantized.forward(x), reloaded.forward(x))
+        assert reloaded.spec.label == quantized.spec.label
+        assert reloaded.name == "digits"
+
+    def test_compiled_bit_identical(self, exported):
+        quantized, path = exported
+        x = sample_batch()
+        compiled = CompiledModel.load(path)
+        assert np.array_equal(quantized.forward(x), compiled.forward(x))
+        assert np.array_equal(quantized.predict(x), compiled.predict(x))
+
+    def test_lut_round_trip(self, tmp_path):
+        quantized = make_quantized(use_lut=True)
+        path = quantized.export(str(tmp_path / "lut"))
+        x = sample_batch(8)
+        assert np.array_equal(quantized.forward(x),
+                              CompiledModel.load(path).forward(x))
+
+    def test_conv_round_trip(self, tmp_path):
+        net = lenet(10, seed=1)
+        spec = QuantizationSpec(12, ALPHA_2,
+                                constrainer=WeightConstrainer(12, ALPHA_2))
+        quantized = QuantizedNetwork.from_float(net, spec)
+        path = quantized.export(str(tmp_path / "lenet"))
+        x = RNG.uniform(-1.0, 1.0, size=(3, 1, 32, 32))
+        compiled = CompiledModel.load(path)
+        assert np.array_equal(quantized.forward(x), compiled.forward(x))
+        assert compiled.input_spatial == (32, 32)
+        # conv topology and energy derive from the stored spatial metadata
+        assert compiled.energy_per_inference_nj() > 0
+
+    def test_manifest_metadata(self, exported):
+        _, path = exported
+        manifest = read_manifest(path)
+        assert manifest["bits"] == 8
+        assert manifest["alphabets"] == [1, 3]
+        assert manifest["constrainer_mode"] == "greedy"
+
+    def test_corrupted_array_rejected(self, exported):
+        _, path = exported
+        arrays_path = os.path.join(path, ARRAYS_NAME)
+        with np.load(arrays_path) as data:
+            arrays = {key: data[key].copy() for key in data.files}
+        arrays["layer0:w_int"][0, 0] += 1
+        np.savez(arrays_path, **arrays)
+        with pytest.raises(ArtifactIntegrityError, match="integrity hash"):
+            load_artifact(path)
+
+    def test_corrupted_manifest_rejected(self, exported):
+        _, path = exported
+        manifest_path = os.path.join(path, MANIFEST_NAME)
+        with open(manifest_path) as handle:
+            manifest = json.load(handle)
+        manifest["bits"] = 12          # tamper without updating checksum
+        with open(manifest_path, "w") as handle:
+            json.dump(manifest, handle)
+        with pytest.raises(ArtifactIntegrityError, match="checksum"):
+            load_artifact(path)
+
+    def test_missing_bundle_rejected(self, tmp_path):
+        empty = tmp_path / "nothing"
+        empty.mkdir()
+        with pytest.raises(ArtifactError):
+            load_artifact(str(empty))
+
+    def test_mixed_layer_specs_preserved(self, tmp_path):
+        from repro.asm.alphabet import ALPHA_4
+        from repro.hardware.engine import ProcessingEngine
+
+        net = mlp([64, 16, 10], seed=5, name="mixed")
+        base = QuantizationSpec(8, ALPHA_4,
+                                constrainer=WeightConstrainer(8, ALPHA_4))
+        layer_specs = [
+            QuantizationSpec(8, ALPHA_4,
+                             constrainer=WeightConstrainer(8, ALPHA_4)),
+            QuantizationSpec(8, ALPHA_2,
+                             constrainer=WeightConstrainer(8, ALPHA_2)),
+        ]
+        quantized = QuantizedNetwork.from_float(net, base,
+                                                layer_specs=layer_specs)
+        path = quantized.export(str(tmp_path / "mixed"))
+        manifest = read_manifest(path)
+        assert [entry["alphabets"] for entry in manifest["layers"]] == \
+            [[1, 3, 5, 7], [1, 3]]
+        compiled = CompiledModel.load(path)
+        x = RNG.uniform(-1.0, 1.0, size=(4, 64))
+        assert np.array_equal(quantized.forward(x), compiled.forward(x))
+        # energy must be costed with each layer's own alphabet set
+        expected = ProcessingEngine(8, ALPHA_4).run(
+            compiled.topology(),
+            layer_alphabets=[ALPHA_4, ALPHA_2]).energy_nj
+        assert compiled.energy_per_inference_nj() == pytest.approx(expected)
+
+
+class TestTableMemoization:
+    def test_effective_weight_table_shared(self):
+        a = AlphabetSetMultiplier(8, ALPHA_2, fallback="nearest")
+        b = AlphabetSetMultiplier(8, ALPHA_2, fallback="nearest")
+        table_a = a.effective_weight_table()
+        assert table_a is b.effective_weight_table()
+        assert not table_a.flags.writeable
+
+    def test_constrainer_table_shared(self):
+        a = WeightConstrainer(8, ALPHA_1)
+        b = WeightConstrainer(8, ALPHA_1)
+        assert a._table is b._table
+        # results still writable (fancy indexing copies)
+        out = a.constrain_array(np.array([5, -7]))
+        out += 1
+
+
+class TestRegistry:
+    def test_register_get_latest(self, exported):
+        _, path = exported
+        registry = ModelRegistry()
+        entry1 = registry.register(path, name="digits")
+        entry2 = registry.register(CompiledModel.load(path), name="digits")
+        assert (entry1.version, entry2.version) == (1, 2)
+        assert registry.get("digits") is entry2.model
+        assert registry.get("digits", version=1) is entry1.model
+        assert len(registry) == 2 and "digits" in registry
+
+    def test_duplicate_version_rejected(self, exported):
+        _, path = exported
+        registry = ModelRegistry()
+        registry.register(path, name="digits", version=3)
+        with pytest.raises(ValueError, match="already registered"):
+            registry.register(path, name="digits", version=3)
+
+    def test_unknown_lookup(self):
+        registry = ModelRegistry()
+        with pytest.raises(KeyError):
+            registry.get("missing")
+
+    def test_evict(self, exported):
+        _, path = exported
+        registry = ModelRegistry()
+        registry.register(path, name="digits")
+        registry.register(path, name="digits")
+        assert registry.evict("digits", version=1) == 1
+        assert registry.evict("digits") == 1
+        assert registry.evict("digits") == 0
+        assert len(registry) == 0
+
+    def test_list_models(self, exported):
+        _, path = exported
+        registry = ModelRegistry()
+        registry.register(path, name="b")
+        registry.register(path, name="a")
+        assert [entry.key for entry in registry.list_models()] == \
+            ["a@v1", "b@v1"]
+
+    def test_evicted_versions_not_reused(self, exported):
+        _, path = exported
+        registry = ModelRegistry()
+        registry.register(path, name="digits")            # v1
+        registry.register(path, name="digits")            # v2
+        registry.evict("digits", version=2)               # rollback
+        entry = registry.register(path, name="digits")
+        assert entry.version == 3                         # never v2 again
+        registry.evict("digits")                          # evict the name
+        assert registry.register(path, name="digits").version == 4
+
+
+class TestMicroBatcher:
+    def test_concurrent_submitters_bit_identical(self, exported):
+        quantized, path = exported
+        compiled = CompiledModel.load(path)
+        x = sample_batch(48)
+        reference = quantized.forward(x)
+        metrics = ServingMetrics()
+        results: dict[int, np.ndarray] = {}
+        with MicroBatcher(lambda key: compiled,
+                          BatchSettings(max_batch_size=16,
+                                        max_latency_ms=20.0),
+                          metrics=metrics) as batcher:
+            def submit_range(start: int, stop: int) -> None:
+                futures = [(i, batcher.submit("digits", x[i]))
+                           for i in range(start, stop)]
+                for i, future in futures:
+                    results[i] = future.result(timeout=10.0)
+
+            threads = [threading.Thread(target=submit_range,
+                                        args=(t * 12, (t + 1) * 12))
+                       for t in range(4)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+        stacked = np.concatenate([results[i] for i in range(48)], axis=0)
+        assert np.array_equal(stacked, reference)
+        snapshot = metrics.snapshot()
+        assert snapshot["batches_total"] >= 1
+        # coalescing happened: fewer forward passes than requests
+        assert snapshot["batches_total"] < 48
+
+    def test_multi_model_grouping(self, exported, tmp_path):
+        _, path = exported
+        other = make_quantized(seed=9, constrained=False)
+        other_path = other.export(str(tmp_path / "other"))
+        registry = ModelRegistry()
+        registry.register(path, name="digits")
+        registry.register(other_path, name="other")
+        x = sample_batch(6)
+        with MicroBatcher(lambda key: registry.get(*key),
+                          BatchSettings(max_latency_ms=10.0)) as batcher:
+            futures = [(key, batcher.submit((key, None), x))
+                       for key in ("digits", "other")]
+            outputs = {key: future.result(timeout=10.0)
+                       for key, future in futures}
+        assert np.array_equal(outputs["digits"],
+                              registry.get("digits").forward(x))
+        assert np.array_equal(outputs["other"],
+                              registry.get("other").forward(x))
+
+    def test_unknown_model_sets_exception(self):
+        registry = ModelRegistry()
+        with MicroBatcher(lambda key: registry.get(*key),
+                          BatchSettings(max_latency_ms=0.0)) as batcher:
+            future = batcher.submit(("missing", None), np.zeros(4))
+            with pytest.raises(KeyError):
+                future.result(timeout=10.0)
+
+    def test_submit_after_close_rejected(self, exported):
+        _, path = exported
+        compiled = CompiledModel.load(path)
+        batcher = MicroBatcher(lambda key: compiled)
+        batcher.close()
+        with pytest.raises(RuntimeError):
+            batcher.submit("digits", np.zeros(1024))
+
+    def test_bad_rank_rejected(self, exported):
+        _, path = exported
+        compiled = CompiledModel.load(path)
+        with MicroBatcher(lambda key: compiled) as batcher:
+            with pytest.raises(ValueError):
+                batcher.submit("digits", np.zeros((2, 2, 2, 2, 2)))
+
+    def test_malformed_corider_does_not_poison_batch(self, exported):
+        quantized, path = exported
+        compiled = CompiledModel.load(path)
+        x = sample_batch(2)
+        with MicroBatcher(lambda key: compiled,
+                          BatchSettings(max_latency_ms=50.0)) as batcher:
+            good = batcher.submit("digits", x)
+            bad = batcher.submit("digits", np.zeros(10))  # wrong width
+            assert np.array_equal(good.result(timeout=10.0),
+                                  quantized.forward(x))
+            with pytest.raises(ValueError):
+                bad.result(timeout=10.0)
+
+    def test_cancelled_future_does_not_kill_worker(self, exported):
+        quantized, path = exported
+        compiled = CompiledModel.load(path)
+        x = sample_batch(2)
+        with MicroBatcher(lambda key: compiled,
+                          BatchSettings(max_latency_ms=0.0)) as batcher:
+            for _ in range(20):
+                batcher.submit("digits", x[0]).cancel()
+            # worker must still be alive and serving after cancel races
+            scores = batcher.predict("digits", x, timeout=10.0)
+        assert np.array_equal(scores, quantized.forward(x))
+
+
+@pytest.fixture
+def running_server(exported):
+    _, path = exported
+    registry = ModelRegistry()
+    registry.register(path, name="digits")
+    server = create_server(registry,
+                           settings=BatchSettings(max_latency_ms=2.0))
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    host, port = server.server_address[:2]
+    yield f"http://{host}:{port}", exported[0]
+    server.shutdown()
+    thread.join(timeout=5.0)
+
+
+def _get(url: str) -> dict:
+    with urllib.request.urlopen(url, timeout=10.0) as response:
+        return json.loads(response.read())
+
+
+def _post(url: str, payload: dict) -> dict:
+    request = urllib.request.Request(
+        url, data=json.dumps(payload).encode(),
+        headers={"Content-Type": "application/json"})
+    with urllib.request.urlopen(request, timeout=30.0) as response:
+        return json.loads(response.read())
+
+
+class TestServer:
+    def test_predict_matches_quantized(self, running_server):
+        base, quantized = running_server
+        x = sample_batch(5)
+        response = _post(f"{base}/predict",
+                         {"model": "digits", "inputs": x.tolist()})
+        assert response["predictions"] == quantized.predict(x).tolist()
+        assert np.array_equal(np.asarray(response["scores"]),
+                              quantized.forward(x))
+        assert response["energy_nj_est"] > 0
+
+    def test_health_models_stats(self, running_server):
+        base, _ = running_server
+        assert _get(f"{base}/health") == {"status": "ok",
+                                          "models": ["digits@v1"]}
+        models = _get(f"{base}/models")["models"]
+        assert models[0]["name"] == "digits"
+        assert models[0]["spec"] == "8b-asm2-constrained"
+        x = sample_batch(3)
+        _post(f"{base}/predict", {"model": "digits", "inputs": x.tolist()})
+        stats = _get(f"{base}/stats")
+        assert stats["requests_total"] >= 1
+        assert stats["samples_total"] >= 3
+        assert stats["energy"]["total_nj"] > 0
+
+    def test_unknown_model_404(self, running_server):
+        base, _ = running_server
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _post(f"{base}/predict",
+                  {"model": "nope", "inputs": [[0.0] * 1024]})
+        assert excinfo.value.code == 404
+
+    def test_bad_body_400(self, running_server):
+        base, _ = running_server
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _post(f"{base}/predict", {"inputs": [[0.0] * 1024]})
+        assert excinfo.value.code == 400
