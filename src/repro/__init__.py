@@ -4,8 +4,21 @@ A production-quality Python reproduction of "Multiplier-less Artificial
 Neurons Exploiting Error Resiliency for Energy-Efficient Neural Computing"
 (Sarwar, Venkataramani, Raghunathan, Roy — DATE 2016).
 
+The public API is the declarative pipeline::
+
+    from repro import PipelineConfig, run_pipeline
+    report = run_pipeline(PipelineConfig(app="mnist_mlp",
+                                         designs=("conventional", "asm2")))
+
+or, from a shell, the ``repro`` CLI (``repro run <config>``,
+``repro experiment <name>``, ``repro serve``, ``repro list``).
+
 Subpackages
 -----------
+``repro.pipeline``
+    The declarative train → quantize → constrain → evaluate → energy →
+    export → serve-check flow: ``PipelineConfig``, staged ``Pipeline``
+    with caching/resume, ``PipelineReport``.
 ``repro.fixedpoint``
     Two's-complement words, Q-format quantisation, quartet layouts.
 ``repro.asm``
@@ -22,13 +35,28 @@ Subpackages
     Constrained retraining (projected SGD), Algorithm-2 methodology,
     mixed per-layer alphabet plans (§VI.E).
 ``repro.experiments``
-    Drivers reproducing every table and figure of the paper.
+    Thin table-formatters over pipeline reports, reproducing every table
+    and figure of the paper.
 ``repro.serving``
     Deployment stack: versioned compiled-model artifacts, a multi-model
     registry, dynamic micro-batching and an HTTP inference server that
     reports the paper's energy story live.
+``repro.utils``
+    Shared utilities (JSON serialization of result objects).
 """
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
-__all__ = ["__version__"]
+__all__ = ["__version__", "PipelineConfig", "Pipeline", "PipelineReport",
+           "run_pipeline"]
+
+_PIPELINE_EXPORTS = {"PipelineConfig", "Pipeline", "PipelineReport",
+                     "run_pipeline"}
+
+
+def __getattr__(name: str):
+    # lazy so `import repro` stays lightweight for fixed-point-only users
+    if name in _PIPELINE_EXPORTS:
+        from repro import pipeline
+        return getattr(pipeline, name)
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")

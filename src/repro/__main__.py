@@ -1,0 +1,6 @@
+"""``python -m repro`` — the unified CLI (same as the ``repro`` script)."""
+
+from repro.cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,151 @@
+"""The unified ``repro`` command-line interface.
+
+One console entry point for the whole flow::
+
+    repro run examples/configs/digits_quick.json   # declarative pipeline
+    repro run cfg.json --stages train,evaluate --cache-dir .cache
+    repro experiment fig7 --full                   # paper tables/figures
+    repro serve results/artifacts/mnist_mlp-asm2   # HTTP inference server
+    repro list                                     # what exists
+
+``repro run`` executes a :class:`~repro.pipeline.config.PipelineConfig`
+file (JSON or TOML) and prints the report; ``repro experiment`` subsumes
+the legacy ``python -m repro.experiments.runner``; ``repro serve``
+subsumes ``repro-serve`` (both remain as deprecation shims for one
+release).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.pipeline.config import (
+    STAGE_NAMES,
+    PipelineConfig,
+    PipelineConfigError,
+)
+
+__all__ = ["main"]
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.pipeline.pipeline import Pipeline
+    from repro.pipeline.report import format_report
+
+    try:
+        config = PipelineConfig.load(args.config)
+        if args.seed is not None:
+            config = config.with_overrides(seed=args.seed)
+        if args.full:
+            config = config.with_overrides(budget="full")
+        stages = tuple(s for s in args.stages.split(",") if s) \
+            if args.stages else None
+        pipeline = Pipeline(config, cache_dir=args.cache_dir)
+        report = pipeline.run(stages=stages, resume=not args.no_resume,
+                              verbose=not args.quiet)
+    except (PipelineConfigError, OSError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    if not args.quiet:
+        print()
+    print(format_report(report))
+    if args.json:
+        path = report.save(args.json)
+        print(f"\n[wrote {path}]")
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    from repro.experiments.runner import EXPERIMENTS, execute
+
+    names = EXPERIMENTS if args.name == "all" else (args.name,)
+    try:
+        return execute(names, full=args.full, seed=args.seed,
+                       write_results=args.json)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serving.server import main as serve_main
+
+    return serve_main(args.args)
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    from repro.datasets.registry import BENCHMARKS
+    from repro.experiments.runner import EXPERIMENTS
+
+    print("pipeline stages (repro run):")
+    print("  " + ", ".join(STAGE_NAMES))
+    print("designs:")
+    print("  conventional, asm1, asm2, asm4, asm8, mixed, ladder")
+    print("benchmarks:")
+    for key, spec in BENCHMARKS.items():
+        print(f"  {key:<10} {spec.description}")
+    print("experiments (repro experiment):")
+    print("  " + ", ".join(EXPERIMENTS))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Multiplier-less Artificial Neurons: train, constrain, "
+                    "evaluate, export and serve from one CLI")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser(
+        "run", help="execute a declarative pipeline config (.json/.toml)")
+    run.add_argument("config", help="path to a PipelineConfig file")
+    run.add_argument("--stages", default=None, metavar="S1,S2,...",
+                     help="override the config's stage list "
+                          f"(choose from {','.join(STAGE_NAMES)})")
+    run.add_argument("--cache-dir", default=None,
+                     help="stage cache root (overrides config.cache_dir)")
+    run.add_argument("--no-resume", action="store_true",
+                     help="ignore cached stage results")
+    run.add_argument("--full", action="store_true",
+                     help="override the budget to the paper-scale tier")
+    run.add_argument("--seed", type=int, default=None,
+                     help="override the config's seed")
+    run.add_argument("--json", default=None, metavar="PATH",
+                     help="also write the report as JSON to PATH")
+    run.add_argument("--quiet", action="store_true",
+                     help="suppress per-stage progress lines")
+    run.set_defaults(func=_cmd_run)
+
+    experiment = sub.add_parser(
+        "experiment", help="reproduce a paper table/figure (or 'all')")
+    experiment.add_argument("name", help="experiment id or 'all'; "
+                                         "see `repro list`")
+    experiment.add_argument("--full", action="store_true",
+                            help="paper-scale training budgets")
+    experiment.add_argument("--seed", type=int, default=0)
+    experiment.add_argument("--json", action="store_true",
+                            help="write results/<experiment>.json")
+    experiment.set_defaults(func=_cmd_experiment)
+
+    serve = sub.add_parser(
+        "serve", help="serve exported artifacts over HTTP "
+                      "(same flags as repro-serve)")
+    serve.add_argument("args", nargs=argparse.REMAINDER,
+                       help="arguments passed to the serving front end")
+    serve.set_defaults(func=_cmd_serve)
+
+    lst = sub.add_parser(
+        "list", help="list stages, designs, benchmarks and experiments")
+    lst.set_defaults(func=_cmd_list)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -24,7 +24,7 @@ from repro.nn.layers import Conv2D, Dense, Flatten, ScaledAvgPool2D
 from repro.nn.network import Sequential
 
 __all__ = ["BenchmarkSpec", "BENCHMARKS", "build_model", "load_dataset",
-           "mlp", "lenet"]
+           "training_arrays", "mlp", "lenet"]
 
 
 def mlp(sizes: list[int], hidden_activation: str = "sigmoid",
@@ -170,6 +170,18 @@ def load_dataset(key: str, n_train: int | None = None,
     if n_test is not None:
         kwargs["n_test"] = n_test
     return spec.dataset_fn(**kwargs)
+
+
+def training_arrays(dataset: Dataset,
+                    spec: BenchmarkSpec) -> tuple[np.ndarray, np.ndarray]:
+    """``(x_train, x_test)`` in the layout *spec*'s model consumes.
+
+    CNN benchmarks take ``(n, 1, h, w)`` images, MLPs the flat view —
+    a choice each driver used to re-derive from ``needs_images``.
+    """
+    if spec.needs_images:
+        return dataset.x_train, dataset.x_test
+    return dataset.flat_train, dataset.flat_test
 
 
 def _spec(key: str) -> BenchmarkSpec:

@@ -7,8 +7,11 @@ For one benchmark the grid runs:
    retrain under constraints at a lower learning rate, measure accuracy
    through the bit-accurate ASM engine.
 
-Rows mirror the paper's tables: (size of synapse, number of alphabets,
-accuracy %, accuracy loss %).
+The heavy lifting happens in :mod:`repro.pipeline` (stages ``train`` →
+``quantize`` → ``constrain`` → ``evaluate``); this module maps the
+resulting :class:`~repro.pipeline.report.PipelineReport` onto the paper's
+table shape: (size of synapse, number of alphabets, accuracy %, accuracy
+loss %).
 """
 
 from __future__ import annotations
@@ -16,14 +19,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.asm.alphabet import standard_set
-from repro.asm.constraints import WeightConstrainer
-from repro.datasets.registry import BENCHMARKS, build_model, load_dataset
-from repro.experiments.config import TRAIN_SETTINGS, Budget, budget
+from repro.experiments.config import Budget
 from repro.hardware.report import format_table
-from repro.nn.optim import SGD
-from repro.nn.quantized import QuantizationSpec, QuantizedNetwork
-from repro.nn.trainer import Trainer
-from repro.training.constrained import ConstraintProjector, constrained_trainer
+from repro.pipeline import Pipeline, PipelineConfig
 
 __all__ = ["AccuracyRow", "AccuracyGrid", "run_accuracy_grid",
            "run_figure7", "format_accuracy_table"]
@@ -78,51 +76,24 @@ def run_accuracy_grid(app: str, bits: int | None = None,
     ``bits=None`` uses the benchmark's Table IV word width.  The grid always
     starts with the conventional row, then one row per alphabet count.
     """
-    spec = BENCHMARKS[app]
-    bits = bits if bits is not None else spec.bits
-    tier = budget_override or budget(full)
-    settings = TRAIN_SETTINGS[app]
-    dataset = load_dataset(app, n_train=tier.n_train, n_test=tier.n_test,
-                           seed=seed)
-    model = build_model(app, seed=seed + 1)
-    use_images = spec.needs_images
-    x_train = dataset.x_train if use_images else dataset.flat_train
-    x_test = dataset.x_test if use_images else dataset.flat_test
-
-    trainer = Trainer(model, SGD(model, settings.learning_rate),
-                      batch_size=settings.batch_size,
-                      patience=settings.patience)
-    trainer.fit(x_train, dataset.y_train_onehot, x_test, dataset.y_test,
-                max_epochs=tier.max_epochs)
-
-    baseline_acc = QuantizedNetwork.from_float(
-        model, QuantizationSpec(bits)).accuracy(x_test, dataset.y_test)
-    rows = [AccuracyRow(bits=bits, num_alphabets=None,
-                        accuracy=baseline_acc, loss=0.0)]
-    restore_point = model.state()
-
+    config = PipelineConfig(
+        app=app, bits=bits,
+        designs=("conventional",)
+        + tuple(f"asm{count}" for count in alphabet_counts),
+        stages=("train", "quantize", "constrain", "evaluate"),
+        budget=(budget_override if budget_override is not None
+                else ("full" if full else "quick")),
+        seed=seed, constraint_mode=constraint_mode)
+    report = Pipeline(config).run()
+    grid_bits = config.word_bits()
+    rows = [AccuracyRow(bits=grid_bits, num_alphabets=None,
+                        accuracy=report.quantize.baseline_accuracy,
+                        loss=0.0)]
     for count in alphabet_counts:
-        alphabet_set = standard_set(count)
-        model.load_state(restore_point)
-        projector = ConstraintProjector(model, bits, alphabet_set,
-                                        mode=constraint_mode)
-        optimizer = SGD(model, settings.learning_rate
-                        * settings.retrain_lr_scale)
-        retrainer = constrained_trainer(
-            model, optimizer, projector,
-            batch_size=settings.batch_size, patience=settings.patience)
-        retrainer.fit(x_train, dataset.y_train_onehot, x_test,
-                      dataset.y_test, max_epochs=tier.retrain_epochs)
-        constrainer = WeightConstrainer(bits, alphabet_set,
-                                        mode=constraint_mode)
-        quantized = QuantizedNetwork.from_float(
-            model, QuantizationSpec(bits, alphabet_set,
-                                    constrainer=constrainer))
-        accuracy = quantized.accuracy(x_test, dataset.y_test)
-        rows.append(AccuracyRow(bits=bits, num_alphabets=count,
-                                accuracy=accuracy,
-                                loss=baseline_acc - accuracy))
-    return AccuracyGrid(app=app, bits=bits, rows=rows)
+        row = report.evaluate.row_for(f"asm{count}")
+        rows.append(AccuracyRow(bits=grid_bits, num_alphabets=count,
+                                accuracy=row.accuracy, loss=row.loss))
+    return AccuracyGrid(app=app, bits=grid_bits, rows=rows)
 
 
 def run_figure7(full: bool = False, seed: int = 0,

@@ -1,11 +1,14 @@
 """Experiment configuration: training budgets and per-benchmark settings.
 
-Two budget tiers exist everywhere:
+The budget tiers and optimiser settings now live in
+:mod:`repro.pipeline.config` — the pipeline is the layer every driver is
+built on, so it owns the canonical definitions.  This module re-exports
+them unchanged for existing imports:
 
 * ``quick``  — used by the pytest benchmarks so the whole suite runs in
   minutes (small sample counts, few epochs);
 * ``full``   — the paper-scale budget behind the numbers in EXPERIMENTS.md
-  (``python -m repro.experiments.runner --full``).
+  (``repro experiment <name> --full``).
 
 The learning rates differ per benchmark because the deep tanh MLPs (SVHN,
 TICH) need a gentler rate than the 2-layer sigmoid nets; the retrain rate is
@@ -14,50 +17,17 @@ scaled down per Algorithm 2's "lower learning rate".
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from repro.pipeline.config import (  # noqa: F401 - re-exports
+    FULL,
+    QUICK,
+    TRAIN_SETTINGS,
+    Budget,
+    TrainSettings,
+    budget,
+)
 
 __all__ = ["Budget", "QUICK", "FULL", "TrainSettings", "TRAIN_SETTINGS",
            "budget", "ACCURACY_APPS"]
-
-
-@dataclass(frozen=True)
-class Budget:
-    """Sample counts and epoch limits for one tier."""
-
-    name: str
-    n_train: int
-    n_test: int
-    max_epochs: int
-    retrain_epochs: int
-
-
-QUICK = Budget("quick", n_train=700, n_test=300, max_epochs=8,
-               retrain_epochs=5)
-FULL = Budget("full", n_train=4000, n_test=1500, max_epochs=40,
-              retrain_epochs=20)
-
-
-def budget(full: bool) -> Budget:
-    return FULL if full else QUICK
-
-
-@dataclass(frozen=True)
-class TrainSettings:
-    """Per-benchmark optimiser settings."""
-
-    learning_rate: float
-    retrain_lr_scale: float = 0.25
-    batch_size: int = 32
-    patience: int = 3
-
-
-TRAIN_SETTINGS: dict[str, TrainSettings] = {
-    "mnist_mlp": TrainSettings(learning_rate=0.3),
-    "mnist_cnn": TrainSettings(learning_rate=0.1, batch_size=16),
-    "face": TrainSettings(learning_rate=0.3),
-    "svhn": TrainSettings(learning_rate=0.05),
-    "tich": TrainSettings(learning_rate=0.05),
-}
 
 #: Benchmarks appearing in Fig. 7 (all five applications).
 ACCURACY_APPS = ("mnist_mlp", "mnist_cnn", "face", "svhn", "tich")

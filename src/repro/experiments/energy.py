@@ -3,17 +3,17 @@
 The paper groups its five applications by size/type: (a) 2-layer MLPs
 (MNIST MLP, Face Detection), (b) 5-6 layer MLPs (SVHN, TICH), (c) the
 6-layer LeNet CNN.  For each application the CSHM engine costs one
-inference pass under the conventional, 4-, 2- and 1-alphabet designs.
+inference pass under the conventional, 4-, 2- and 1-alphabet designs —
+now via the pipeline's ``energy`` stage (no training involved); this
+module only regroups the rows into the paper's Fig. 9 shape.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.asm.alphabet import ALPHA_1, ALPHA_2, ALPHA_4, AlphabetSet
-from repro.datasets.registry import BENCHMARKS, build_model
-from repro.hardware.engine import ProcessingEngine
 from repro.hardware.report import format_table
+from repro.pipeline import Pipeline, PipelineConfig
 
 __all__ = ["EnergyRow", "FIGURE9_GROUPS", "run_figure9",
            "format_energy_table"]
@@ -24,6 +24,9 @@ FIGURE9_GROUPS: dict[str, tuple[str, ...]] = {
     "5-6 layer MLPs": ("svhn", "tich"),
     "6-layer CNN": ("mnist_cnn",),
 }
+
+#: The Fig. 9 design sweep, in paper order.
+_FIGURE9_DESIGNS = ("conventional", "asm4", "asm2", "asm1")
 
 
 @dataclass(frozen=True)
@@ -39,27 +42,17 @@ class EnergyRow:
 
 def run_figure9() -> list[EnergyRow]:
     """Cost one inference of every benchmark under every design."""
-    designs: list[tuple[str, AlphabetSet | None]] = [
-        ("conventional", None),
-        (str(ALPHA_4), ALPHA_4),
-        (str(ALPHA_2), ALPHA_2),
-        (str(ALPHA_1), ALPHA_1),
-    ]
     rows = []
     for group, apps in FIGURE9_GROUPS.items():
         for app in apps:
-            spec = BENCHMARKS[app]
-            topology = build_model(app).topology()
-            baseline_nj = None
-            for label, aset in designs:
-                engine = ProcessingEngine(spec.bits, aset)
-                report = engine.run(topology)
-                if baseline_nj is None:
-                    baseline_nj = report.energy_nj
+            config = PipelineConfig(app=app, designs=_FIGURE9_DESIGNS,
+                                    stages=("energy",))
+            report = Pipeline(config).run()
+            for row in report.energy.rows:
                 rows.append(EnergyRow(
-                    group=group, app=app, design=label,
-                    energy_nj=report.energy_nj,
-                    normalized=report.energy_nj / baseline_nj,
+                    group=group, app=app, design=row.label,
+                    energy_nj=row.energy_nj,
+                    normalized=row.normalized,
                 ))
     return rows
 

@@ -1,11 +1,13 @@
 """Export experiment: train → constrain → export → reload → verify.
 
-The deployment path the serving stack exists for: train a benchmark
-network, retrain it under alphabet constraints (Algorithm 2's inner step),
-lower it onto the integer engine, persist it as a
-:mod:`repro.serving.artifact` bundle, reload it through the registry as a
-:class:`~repro.serving.compiled.CompiledModel`, and check the reloaded
-scores are **bit-identical** to the exported network on the held-out set.
+The deployment path the serving stack exists for, expressed as the
+pipeline stages ``train`` → ``constrain`` → ``evaluate`` → ``export`` →
+``serve-check``: train a benchmark network, retrain it under alphabet
+constraints (Algorithm 2's inner step), lower it onto the integer engine,
+persist it as a :mod:`repro.serving.artifact` bundle, reload it through
+the registry as a :class:`~repro.serving.compiled.CompiledModel`, and
+check the reloaded scores are **bit-identical** to the exported network
+on the held-out set.
 """
 
 from __future__ import annotations
@@ -13,17 +15,9 @@ from __future__ import annotations
 import os
 from dataclasses import dataclass
 
-import numpy as np
-
-from repro.asm.alphabet import standard_set
-from repro.asm.constraints import WeightConstrainer
-from repro.datasets.registry import BENCHMARKS, build_model, load_dataset
-from repro.experiments.config import TRAIN_SETTINGS, Budget, budget
+from repro.experiments.config import Budget
 from repro.hardware.report import format_table
-from repro.nn.optim import SGD
-from repro.nn.quantized import QuantizationSpec, QuantizedNetwork
-from repro.nn.trainer import Trainer
-from repro.training.constrained import ConstraintProjector, constrained_trainer
+from repro.pipeline import Pipeline, PipelineConfig
 
 __all__ = ["ExportReport", "run_export", "format_export_table"]
 
@@ -54,59 +48,27 @@ def run_export(app: str = "mnist_mlp", num_alphabets: int = 2,
     The bundle lands in ``<out_dir>/<app>-asm<num_alphabets>``; the report
     records reload accuracy and whether reloaded scores match exactly.
     """
-    from repro.serving.compiled import CompiledModel
-    from repro.serving.registry import ModelRegistry
-
-    spec_row = BENCHMARKS[app]
-    bits = spec_row.bits
-    tier = budget_override or budget(full)
-    settings = TRAIN_SETTINGS[app]
-    alphabet_set = standard_set(num_alphabets)
-
-    dataset = load_dataset(app, n_train=tier.n_train, n_test=tier.n_test,
-                           seed=seed)
-    model = build_model(app, seed=seed + 1)
-    x_train = dataset.x_train if spec_row.needs_images else dataset.flat_train
-    x_test = dataset.x_test if spec_row.needs_images else dataset.flat_test
-
-    trainer = Trainer(model, SGD(model, settings.learning_rate),
-                      batch_size=settings.batch_size,
-                      patience=settings.patience)
-    trainer.fit(x_train, dataset.y_train_onehot, x_test, dataset.y_test,
-                max_epochs=tier.max_epochs)
-
-    projector = ConstraintProjector(model, bits, alphabet_set)
-    optimizer = SGD(model,
-                    settings.learning_rate * settings.retrain_lr_scale)
-    retrainer = constrained_trainer(model, optimizer, projector,
-                                    batch_size=settings.batch_size,
-                                    patience=settings.patience)
-    retrainer.fit(x_train, dataset.y_train_onehot, x_test, dataset.y_test,
-                  max_epochs=tier.retrain_epochs)
-
-    constrainer = WeightConstrainer(bits, alphabet_set)
-    quantized = QuantizedNetwork.from_float(
-        model, QuantizationSpec(bits, alphabet_set, constrainer=constrainer))
-
-    path = os.path.join(out_dir, f"{app}-asm{num_alphabets}")
-    quantized.export(path)
-    artifact_bytes = sum(
-        os.path.getsize(os.path.join(path, item))
-        for item in os.listdir(path))
-
-    registry = ModelRegistry()
-    compiled: CompiledModel = registry.register(path, name=app).model
-    reference = quantized.forward(x_test)
-    reloaded = compiled.forward(x_test)
+    design = f"asm{num_alphabets}"
+    config = PipelineConfig(
+        app=app, designs=(design,),
+        stages=("train", "constrain", "evaluate", "export", "serve-check"),
+        budget=(budget_override if budget_override is not None
+                else ("full" if full else "quick")),
+        seed=seed, export_design=design, export_dir=out_dir,
+        serve_name=app)
+    report = Pipeline(config).run()
+    evaluation = report.evaluate.row_for(design)
+    export = report.export
+    check = report.serve_check
     return ExportReport(
-        app=app, bits=bits, num_alphabets=num_alphabets, path=path,
-        spec_label=quantized.spec.label,
-        quantized_accuracy=quantized.accuracy(x_test, dataset.y_test),
-        compiled_accuracy=compiled.accuracy(x_test, dataset.y_test),
-        bit_identical=bool(np.array_equal(reference, reloaded)),
-        num_params=compiled.num_params,
-        artifact_bytes=artifact_bytes,
-        energy_nj_per_inference=compiled.energy_per_inference_nj(),
+        app=app, bits=config.word_bits(), num_alphabets=num_alphabets,
+        path=export.path, spec_label=export.spec_label,
+        quantized_accuracy=evaluation.accuracy,
+        compiled_accuracy=check.compiled_accuracy,
+        bit_identical=check.bit_identical,
+        num_params=check.num_params,
+        artifact_bytes=export.artifact_bytes,
+        energy_nj_per_inference=check.energy_nj_per_inference,
     )
 
 

@@ -8,27 +8,20 @@ compares three deployments:
 * the §VI.E mixed plan — {1} in the early layers, {1,3} / {1,3,5,7} in the
   concluding layer(s).
 
-The experiment retrains for each constrained plan (projected SGD), then
-reports bit-accurate accuracy and CSHM-engine energy, normalised to the
-conventional deployment.
+The pipeline expresses the three deployments as the design tokens
+``conventional`` / ``asm1`` / ``mixed`` and handles the retraining
+(projected SGD) and both measurements; this module relabels the rows the
+way Fig. 11 does and normalises energy to the conventional deployment.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.asm.alphabet import ALPHA_1, ALPHA_2, ALPHA_4, AlphabetSet
-from repro.datasets.registry import BENCHMARKS, build_model, load_dataset
-from repro.experiments.config import TRAIN_SETTINGS, budget
+from repro.asm.alphabet import AlphabetSet
 from repro.hardware.report import format_table
-from repro.nn.optim import SGD
-from repro.nn.trainer import Trainer
-from repro.training.mixed import (
-    MixedPlanResult,
-    build_mixed_plan,
-    evaluate_plan,
-    retrain_with_plan,
-)
+from repro.pipeline import Pipeline, PipelineConfig
+from repro.training.mixed import paper_mixed_plan
 
 __all__ = ["Figure11Row", "FIGURE11_APPS", "mixed_plan_for",
            "run_figure11_app", "run_figure11", "format_figure11_table"]
@@ -36,20 +29,19 @@ __all__ = ["Figure11Row", "FIGURE11_APPS", "mixed_plan_for",
 #: The applications Fig. 11 plots.
 FIGURE11_APPS = ("mnist_mlp", "svhn", "tich")
 
+#: Fig. 11 deployments as pipeline design tokens, with the paper's labels.
+_FIGURE11_DESIGNS = (("conventional", "conventional"),
+                     ("asm1", "all {1}"),
+                     ("mixed", "mixed"))
+
 
 def mixed_plan_for(app: str, network) -> list[AlphabetSet]:
     """The paper's §VI.E plan for each Fig. 11 application.
 
-    MNIST (2-layer): {1} hidden, {1,3,5,7} output.
-    SVHN (6-layer) and TICH (5-layer): {1} early, {1,3} penultimate,
-    {1,3,5,7} ultimate.
+    Kept as an alias of :func:`repro.training.mixed.paper_mixed_plan`
+    (the pipeline's canonical copy) for existing imports.
     """
-    if app == "mnist_mlp":
-        return build_mixed_plan(network, [ALPHA_4], base_set=ALPHA_1)
-    if app in ("svhn", "tich"):
-        return build_mixed_plan(network, [ALPHA_2, ALPHA_4],
-                                base_set=ALPHA_1)
-    raise ValueError(f"no Fig. 11 plan for {app!r}")
+    return paper_mixed_plan(app, network)
 
 
 @dataclass(frozen=True)
@@ -66,62 +58,22 @@ class Figure11Row:
 def run_figure11_app(app: str, full: bool = False,
                      seed: int = 0) -> list[Figure11Row]:
     """The three Fig. 11 deployments for one application."""
-    spec = BENCHMARKS[app]
-    tier = budget(full)
-    settings = TRAIN_SETTINGS[app]
-    dataset = load_dataset(app, n_train=tier.n_train, n_test=tier.n_test,
-                           seed=seed)
-    model = build_model(app, seed=seed + 1)
-    use_images = spec.needs_images
-    x_train = dataset.x_train if use_images else dataset.flat_train
-    x_test = dataset.x_test if use_images else dataset.flat_test
-
-    trainer = Trainer(model, SGD(model, settings.learning_rate),
-                      batch_size=settings.batch_size,
-                      patience=settings.patience)
-    trainer.fit(x_train, dataset.y_train_onehot, x_test, dataset.y_test,
-                max_epochs=tier.max_epochs)
-    restore_point = model.state()
-    n_layers = len(model.trainable_layers)
-
-    results: list[MixedPlanResult] = []
-    # conventional deployment (no constraints, no retraining needed)
-    results.append(evaluate_plan(
-        model, dataset, spec.bits, [None] * n_layers,
-        label="conventional", use_images=use_images))
-
-    # all-{1} MAN deployment
-    model.load_state(restore_point)
-    man_plan: list[AlphabetSet | None] = [ALPHA_1] * n_layers
-    retrain_with_plan(
-        model, dataset, spec.bits, man_plan,
-        learning_rate=settings.learning_rate * settings.retrain_lr_scale,
-        batch_size=settings.batch_size, patience=settings.patience,
-        max_epochs=tier.retrain_epochs, use_images=use_images)
-    results.append(evaluate_plan(
-        model, dataset, spec.bits, man_plan,
-        label="all {1}", use_images=use_images))
-
-    # mixed plan (§VI.E)
-    model.load_state(restore_point)
-    plan = list(mixed_plan_for(app, model))
-    retrain_with_plan(
-        model, dataset, spec.bits, plan,
-        learning_rate=settings.learning_rate * settings.retrain_lr_scale,
-        batch_size=settings.batch_size, patience=settings.patience,
-        max_epochs=tier.retrain_epochs, use_images=use_images)
-    results.append(evaluate_plan(
-        model, dataset, spec.bits, plan,
-        label="mixed", use_images=use_images))
-
-    baseline_energy = results[0].energy_nj
-    return [
-        Figure11Row(app=app, deployment=result.label,
-                    accuracy=result.accuracy,
-                    energy_nj=result.energy_nj,
-                    normalized_energy=result.energy_nj / baseline_energy)
-        for result in results
-    ]
+    config = PipelineConfig(
+        app=app, designs=tuple(d for d, _ in _FIGURE11_DESIGNS),
+        stages=("train", "quantize", "constrain", "evaluate", "energy"),
+        budget="full" if full else "quick", seed=seed)
+    report = Pipeline(config).run()
+    rows = []
+    for design, deployment in _FIGURE11_DESIGNS:
+        accuracy = report.evaluate.row_for(design)
+        energy = report.energy.row_for(design)
+        rows.append(Figure11Row(
+            app=app, deployment=deployment,
+            accuracy=accuracy.accuracy,
+            energy_nj=energy.energy_nj,
+            normalized_energy=energy.normalized,
+        ))
+    return rows
 
 
 def run_figure11(full: bool = False, seed: int = 0,

@@ -1,17 +1,19 @@
-"""Unified experiment runner.
+"""Legacy experiment runner (deprecated entry point).
 
-Usage::
+``python -m repro.experiments.runner`` still works but is superseded by
+the unified ``repro`` CLI::
 
-    python -m repro.experiments.runner --experiment all          # quick tier
-    python -m repro.experiments.runner --experiment fig7 --full  # paper tier
-    python -m repro.experiments.runner --experiment export       # serving
-    python -m repro.experiments.runner --list
+    repro experiment all            # quick tier
+    repro experiment fig7 --full    # paper tier
+    repro experiment export         # serving path
+    repro list
 
 Experiments ``table1``–``table5`` and ``fig7``–``fig11`` reproduce the
 paper; ``export`` runs the deployment path (train → constrain → export a
 :mod:`repro.serving` artifact under ``results/artifacts/`` → reload → verify
-bit-identical scores), producing a bundle that ``python -m repro.serving``
-can serve.
+bit-identical scores), producing a bundle that ``repro serve`` can serve.
+Every training experiment is a thin formatter over
+:mod:`repro.pipeline` reports.
 
 Each experiment prints its table(s) and, when ``--json`` is given, appends a
 machine-readable record to ``results/<experiment>.json``.
@@ -20,16 +22,14 @@ machine-readable record to ``results/<experiment>.json``.
 from __future__ import annotations
 
 import argparse
-import json
 import os
-from dataclasses import asdict, is_dataclass
+import sys
 
 from repro.experiments.accuracy import (
     format_accuracy_table,
     run_accuracy_grid,
     run_figure7,
 )
-from repro.experiments.config import ACCURACY_APPS
 from repro.experiments.energy import format_energy_table, run_figure9
 from repro.experiments.export import format_export_table, run_export
 from repro.experiments.mixed import format_figure11_table, run_figure11
@@ -39,18 +39,9 @@ from repro.experiments.power_area import (
     run_figure10,
 )
 from repro.experiments.tables import format_table1, format_table4, format_table5
+from repro.utils.serialization import write_json
 
-__all__ = ["EXPERIMENTS", "run_experiment", "main"]
-
-
-def _jsonable(value):
-    if is_dataclass(value) and not isinstance(value, type):
-        return {k: _jsonable(v) for k, v in asdict(value).items()}
-    if isinstance(value, dict):
-        return {str(k): _jsonable(v) for k, v in value.items()}
-    if isinstance(value, (list, tuple)):
-        return [_jsonable(v) for v in value]
-    return value
+__all__ = ["EXPERIMENTS", "run_experiment", "execute", "main"]
 
 
 def run_experiment(name: str, full: bool = False,
@@ -108,9 +99,24 @@ EXPERIMENTS = ("table1", "table2", "table3", "table4", "table5",
                "fig7", "fig8", "fig9", "fig10", "fig11", "export")
 
 
+def execute(names: tuple[str, ...], full: bool = False, seed: int = 0,
+            write_results: bool = False) -> int:
+    """Run *names* in order, printing tables (the shared CLI body)."""
+    for name in names:
+        text, payload = run_experiment(name, full=full, seed=seed)
+        print(text)
+        print()
+        if write_results:
+            path = write_json(os.path.join("results", f"{name}.json"),
+                              payload)
+            print(f"[wrote {path}]")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
-        description="Reproduce tables/figures of the MAN paper")
+        description="Reproduce tables/figures of the MAN paper "
+                    "(deprecated; use `repro experiment`)")
     parser.add_argument("--experiment", "-e", default="all",
                         help="experiment id or 'all'")
     parser.add_argument("--full", action="store_true",
@@ -122,23 +128,18 @@ def main(argv: list[str] | None = None) -> int:
                         help="list experiment ids and exit")
     args = parser.parse_args(argv)
 
+    print("note: `python -m repro.experiments.runner` is deprecated; "
+          "use `repro experiment <name>` (see `repro --help`)",
+          file=sys.stderr)
+
     if args.list:
         for name in EXPERIMENTS:
             print(name)
         return 0
 
     names = EXPERIMENTS if args.experiment == "all" else (args.experiment,)
-    for name in names:
-        text, payload = run_experiment(name, full=args.full, seed=args.seed)
-        print(text)
-        print()
-        if args.json:
-            os.makedirs("results", exist_ok=True)
-            path = os.path.join("results", f"{name}.json")
-            with open(path, "w") as handle:
-                json.dump(_jsonable(payload), handle, indent=2, default=str)
-            print(f"[wrote {path}]")
-    return 0
+    return execute(names, full=args.full, seed=args.seed,
+                   write_results=args.json)
 
 
 if __name__ == "__main__":

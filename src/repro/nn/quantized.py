@@ -68,6 +68,18 @@ class QuantizationSpec:
         else:
             self._multiplier = None
 
+    @classmethod
+    def constrained(cls, bits: int, alphabet_set: AlphabetSet,
+                    mode: str = "greedy",
+                    fallback: str = "error") -> "QuantizationSpec":
+        """The constrained-retraining deployment spec: *alphabet_set* with
+        a matching Algorithm-1 :class:`WeightConstrainer` (the combination
+        every driver builds by hand otherwise)."""
+        return cls(bits, alphabet_set,
+                   constrainer=WeightConstrainer(bits, alphabet_set,
+                                                 mode=mode),
+                   fallback=fallback)
+
     # ------------------------------------------------------------------
     def quantize_weights(self, weights: np.ndarray,
                          ) -> tuple[np.ndarray, QFormat]:
@@ -376,6 +388,28 @@ class QuantizedNetwork:
         """Quantised layers that carry a synapse matrix."""
         return [q for q in self.layers
                 if isinstance(q, (_QuantDense, _QuantConv))]
+
+    @property
+    def deployment_label(self) -> str:
+        """Spec label describing the *actual* deployment.
+
+        Uniform networks report ``spec.label``; mixed (§VI.E) networks —
+        where per-layer specs diverge from the base spec — report each
+        layer's alphabet set, so reports and artifact manifests never
+        describe a mixed ASM deployment as conventional.
+        """
+        param_layers = [q for q in self.layers if q.kind != "flatten"]
+        if len({q.alphabets for q in param_layers}) <= 1:
+            return self.spec.label
+
+        def label(alphabets: tuple[int, ...] | None) -> str:
+            if alphabets is None:
+                return "conv"
+            return "{" + ",".join(str(a) for a in alphabets) + "}"
+
+        return (f"{self.spec.bits}b-mixed("
+                + "|".join(label(q.alphabets) for q in param_layers)
+                + ")-constrained")
 
     # ------------------------------------------------------------------
     def export(self, path: str, name: str | None = None) -> str:

@@ -1,0 +1,245 @@
+"""The :class:`Pipeline`: ordered, cacheable execution of named stages.
+
+``Pipeline(config).run()`` resolves the configured stages (pulling in
+prerequisites transitively), runs them in canonical order against one
+shared :class:`~repro.pipeline.stages.PipelineContext`, and returns a
+:class:`~repro.pipeline.report.PipelineReport`.
+
+When the config names a ``cache_dir`` (or one is passed explicitly),
+every completed stage persists its result JSON plus any weight states
+under ``<cache_dir>/<config-digest>-<plan-hash>/``; a re-run with the
+same config and stage plan resumes from the cache and is bit-identical
+to a cold run (weights round-trip through ``.npz`` exactly, floats
+round-trip through JSON exactly).  Editing the config — or overriding
+the stage list, which can change what a stage reports — invalidates the
+cache via the key.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+
+from repro.asm.alphabet import standard_set
+from repro.pipeline.config import STAGE_NAMES, PipelineConfig
+from repro.pipeline.report import STAGE_ATTRS, PipelineReport
+from repro.pipeline.stages import (
+    STAGE_FUNCTIONS,
+    ConstrainResult,
+    PipelineContext,
+    StageError,
+    load_state,
+    result_from_payload,
+    save_state,
+)
+from repro.utils.serialization import to_jsonable
+
+__all__ = ["Pipeline", "run_pipeline"]
+
+_CACHE_FORMAT = 1
+
+
+class Pipeline:
+    """Declarative, stage-based execution of one :class:`PipelineConfig`."""
+
+    def __init__(self, config: PipelineConfig,
+                 cache_dir: str | None = None) -> None:
+        self.config = config
+        #: cache root (``None`` disables caching)
+        self.cache_root = (cache_dir if cache_dir is not None
+                           else config.cache_dir)
+        #: per-run cache directory, set by :meth:`run` once the stage
+        #: plan is resolved (stage results can depend on which other
+        #: stages run — e.g. ``evaluate`` reports losses only when
+        #: ``quantize`` is in the plan — so the plan is part of the key)
+        self.cache_path: str | None = None
+
+    def _resolve_cache_path(self, plan: tuple[str, ...]) -> None:
+        if self.cache_root is None:
+            self.cache_path = None
+            return
+        plan_tag = hashlib.sha256("+".join(plan).encode()).hexdigest()[:8]
+        self.cache_path = os.path.join(
+            self.cache_root, f"{self.config.digest()[:16]}-{plan_tag}")
+
+    # ------------------------------------------------------------------
+    # stage planning
+    # ------------------------------------------------------------------
+    def _requires(self, stage: str) -> tuple[str, ...]:
+        """Prerequisite stages of *stage* under this config."""
+        designs = self.config.designs
+        has_asm = any(d != "conventional" for d in designs)
+        has_ladder = "ladder" in designs
+        if stage == "train":
+            return ()
+        if stage == "quantize":
+            return ("train",)
+        if stage == "constrain":
+            return ("train", "quantize") if has_ladder else ("train",)
+        if stage == "evaluate":
+            needs: list[str] = []
+            if "conventional" in designs:
+                needs.append("quantize")
+            if has_asm:
+                needs.append("constrain")
+            return tuple(needs)
+        if stage == "energy":
+            # ladder designs resolve their alphabet set while constraining
+            return ("constrain",) if has_ladder else ()
+        if stage == "export":
+            return ("constrain",)
+        if stage == "serve-check":
+            return ("export",)
+        raise ValueError(f"unknown stage {stage!r}")
+
+    def plan(self, stages: tuple[str, ...] | None = None) -> tuple[str, ...]:
+        """Requested stages plus prerequisites, in canonical order."""
+        requested = tuple(stages) if stages is not None else \
+            self.config.stages
+        for stage in requested:
+            if stage not in STAGE_NAMES:
+                raise ValueError(
+                    f"unknown stage {stage!r}; choose from {STAGE_NAMES}")
+        needed: set[str] = set()
+
+        def add(stage: str) -> None:
+            if stage in needed:
+                return
+            needed.add(stage)
+            for dep in self._requires(stage):
+                add(dep)
+
+        for stage in requested:
+            add(stage)
+        if "export" in needed:
+            # fail before any stage runs, not after a full training run
+            # (config construction validates this only for configured
+            # stage lists; runtime overrides land here)
+            self.config.resolved_export_design()
+        return tuple(s for s in STAGE_NAMES if s in needed)
+
+    # ------------------------------------------------------------------
+    # cache plumbing
+    # ------------------------------------------------------------------
+    def _stage_json(self, stage: str) -> str:
+        return os.path.join(self.cache_path, f"{stage}.json")
+
+    def _state_files(self, stage: str, ctx: PipelineContext,
+                     payload: dict | None = None) -> dict[str, str]:
+        """``label -> npz path`` of the weight states *stage* persists."""
+        if self.cache_path is None:
+            return {}
+        if stage == "train":
+            return {"train": os.path.join(self.cache_path, "train-state.npz")}
+        if stage == "constrain":
+            if payload is not None:
+                designs = [o["design"] for o in payload["outcomes"]]
+            else:
+                designs = [d for d in ctx.config.designs
+                           if d != "conventional"]
+            return {design: os.path.join(self.cache_path,
+                                         f"constrain-{design}.npz")
+                    for design in designs}
+        return {}
+
+    def _try_load_cached(self, stage: str, ctx: PipelineContext):
+        """Load *stage* from the cache, or return ``None`` on any miss."""
+        if self.cache_path is None:
+            return None
+        path = self._stage_json(stage)
+        try:
+            with open(path) as handle:
+                envelope = json.load(handle)
+        except (OSError, json.JSONDecodeError):
+            return None
+        if (envelope.get("format") != _CACHE_FORMAT
+                or envelope.get("config_digest") != self.config.digest()
+                or envelope.get("stage") != stage):
+            return None
+        states = self._state_files(stage, ctx, payload=envelope["result"])
+        if not all(os.path.exists(p) for p in states.values()):
+            return None
+        result = result_from_payload(stage, envelope["result"])
+        if stage == "export" and not os.path.isdir(result.path):
+            return None  # artifact bundle was deleted; re-export
+        # rebuild the context exactly as a live run would have left it
+        if stage == "train":
+            ctx.train_state = load_state(states["train"], ctx.model)
+        elif stage == "constrain":
+            assert isinstance(result, ConstrainResult)
+            for outcome in result.outcomes:
+                ctx.design_states[outcome.design] = load_state(
+                    states[outcome.design], ctx.model)
+                if outcome.chosen_alphabets is not None:
+                    ctx.chosen_sets[outcome.design] = standard_set(
+                        outcome.chosen_alphabets)
+        return result
+
+    def _write_cache(self, stage: str, ctx: PipelineContext,
+                     result) -> None:
+        if self.cache_path is None:
+            return
+        os.makedirs(self.cache_path, exist_ok=True)
+        for label, path in self._state_files(stage, ctx).items():
+            state = (ctx.train_state if label == "train"
+                     else ctx.design_states.get(label))
+            if state is None:  # design not retrained (shouldn't happen)
+                continue
+            save_state(path, state)
+        envelope = {
+            "format": _CACHE_FORMAT,
+            "stage": stage,
+            "config_digest": self.config.digest(),
+            "result": to_jsonable(result),
+        }
+        with open(self._stage_json(stage), "w") as handle:
+            json.dump(envelope, handle, indent=2, default=str)
+
+    # ------------------------------------------------------------------
+    def run(self, stages: tuple[str, ...] | None = None,
+            resume: bool = True, verbose: bool = False) -> PipelineReport:
+        """Execute the (resolved) stages; returns the report.
+
+        ``resume=False`` ignores existing cache entries (they are still
+        rewritten afterwards when caching is enabled).
+        """
+        ctx = PipelineContext(self.config)
+        plan = self.plan(stages)
+        self._resolve_cache_path(plan)
+        cached: list[str] = []
+        for stage in plan:
+            result = self._try_load_cached(stage, ctx) if resume else None
+            if result is not None:
+                cached.append(stage)
+                if verbose:
+                    print(f"[{stage}] cached "
+                          f"({os.path.relpath(self._stage_json(stage))})")
+            else:
+                if verbose:
+                    print(f"[{stage}] running ...")
+                try:
+                    result = STAGE_FUNCTIONS[stage](ctx)
+                except StageError as error:
+                    raise StageError(
+                        f"stage {stage!r} failed: {error}") from error
+                self._write_cache(stage, ctx, result)
+            ctx.results[stage] = result
+        report_kwargs = {STAGE_ATTRS[name]: result
+                         for name, result in ctx.results.items()}
+        return PipelineReport(config=self.config, stages_run=plan,
+                              cached_stages=tuple(cached), **report_kwargs)
+
+
+def run_pipeline(config: PipelineConfig | dict | str | os.PathLike,
+                 stages: tuple[str, ...] | None = None,
+                 cache_dir: str | None = None,
+                 resume: bool = True,
+                 verbose: bool = False) -> PipelineReport:
+    """One-call convenience: accept a config object, mapping or file path."""
+    if isinstance(config, (str, os.PathLike)):
+        config = PipelineConfig.load(os.fspath(config))
+    elif isinstance(config, dict):
+        config = PipelineConfig.from_dict(config)
+    return Pipeline(config, cache_dir=cache_dir).run(
+        stages=stages, resume=resume, verbose=verbose)

@@ -1,0 +1,511 @@
+"""Named pipeline stages and their typed results.
+
+Each stage is a function ``(PipelineContext) -> StageResult`` operating on
+the shared context (dataset, model, stashed weight states).  Stages are
+individually runnable and cacheable: results are plain frozen dataclasses
+reconstructible from their JSON form (:func:`result_from_payload`), and
+weight states round-trip through ``.npz`` files bit-exactly — a resumed
+pipeline produces the same numbers as a cold one.
+
+The stage bodies reproduce the exact operation sequences of the legacy
+``repro.experiments`` drivers (same trainer construction, same projector,
+same quantisation calls), which is what makes the re-expressed drivers'
+tables bit-identical to their pre-pipeline output.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.asm.alphabet import AlphabetSet, standard_set
+from repro.datasets.registry import BENCHMARKS, build_model, load_dataset, \
+    training_arrays
+from repro.hardware.engine import ProcessingEngine
+from repro.nn.optim import SGD
+from repro.nn.quantized import QuantizationSpec, QuantizedNetwork
+from repro.nn.trainer import Trainer
+from repro.pipeline.config import PipelineConfig, parse_design
+from repro.training.constrained import ConstraintProjector, constrained_trainer
+from repro.training.methodology import DesignMethodology
+from repro.training.mixed import paper_mixed_plan
+
+__all__ = [
+    "PipelineContext", "StageError",
+    "TrainResult", "QuantizeResult", "DesignOutcome", "ConstrainResult",
+    "EvaluationRow", "EvaluateResult", "EnergyDesignRow", "EnergyResult",
+    "ExportResult", "ServeCheckResult",
+    "STAGE_FUNCTIONS", "result_from_payload",
+    "save_state", "load_state",
+]
+
+
+class StageError(RuntimeError):
+    """A stage cannot run (missing prerequisite state or bad design)."""
+
+
+# ----------------------------------------------------------------------
+# typed stage results
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class TrainResult:
+    """Unconstrained training to saturation (Algorithm 2 step 1)."""
+
+    app: str
+    bits: int
+    budget: str
+    seed: int
+    epochs: int
+    float_accuracy: float
+
+
+@dataclass(frozen=True)
+class QuantizeResult:
+    """Baseline accuracy J through the quantised conventional engine."""
+
+    bits: int
+    baseline_accuracy: float
+
+
+@dataclass(frozen=True)
+class DesignOutcome:
+    """One design's constrained retraining record."""
+
+    design: str
+    epochs: int
+    chosen_alphabets: int | None = None      # ladder designs only
+    ladder_accuracies: tuple[float, ...] = ()
+
+
+@dataclass(frozen=True)
+class ConstrainResult:
+    """Constrained retraining of every non-conventional design."""
+
+    outcomes: tuple[DesignOutcome, ...]
+
+    def outcome_for(self, design: str) -> DesignOutcome:
+        for outcome in self.outcomes:
+            if outcome.design == design:
+                return outcome
+        raise KeyError(f"no constrain outcome for design {design!r}")
+
+
+@dataclass(frozen=True)
+class EvaluationRow:
+    """Bit-accurate engine accuracy of one deployed design."""
+
+    design: str
+    label: str
+    accuracy: float
+    loss: float | None          # vs the conventional baseline, if known
+
+
+@dataclass(frozen=True)
+class EvaluateResult:
+    rows: tuple[EvaluationRow, ...]
+
+    def row_for(self, design: str) -> EvaluationRow:
+        for row in self.rows:
+            if row.design == design:
+                return row
+        raise KeyError(f"no evaluation row for design {design!r}")
+
+
+@dataclass(frozen=True)
+class EnergyDesignRow:
+    """CSHM-engine cost of one inference under one design."""
+
+    design: str
+    label: str
+    energy_nj: float
+    cycles: int
+    normalized: float           # vs the conventional design
+
+
+@dataclass(frozen=True)
+class EnergyResult:
+    rows: tuple[EnergyDesignRow, ...]
+
+    def row_for(self, design: str) -> EnergyDesignRow:
+        for row in self.rows:
+            if row.design == design:
+                return row
+        raise KeyError(f"no energy row for design {design!r}")
+
+
+@dataclass(frozen=True)
+class ExportResult:
+    """A constrained design exported as a serving artifact bundle."""
+
+    design: str
+    path: str
+    spec_label: str
+    artifact_bytes: int
+
+
+@dataclass(frozen=True)
+class ServeCheckResult:
+    """Registry reload + bit-identity verification of the export."""
+
+    design: str
+    registry_key: str
+    num_params: int
+    compiled_accuracy: float
+    bit_identical: bool
+    energy_nj_per_inference: float | None
+
+
+# ----------------------------------------------------------------------
+# context
+# ----------------------------------------------------------------------
+class PipelineContext:
+    """Mutable runtime state shared by the stages of one pipeline run."""
+
+    def __init__(self, config: PipelineConfig) -> None:
+        self.config = config
+        self.bench = BENCHMARKS[config.app]
+        self.tier = config.tier()
+        self.settings = config.train_settings()
+        self.bits = config.word_bits()
+        self._dataset = None
+        self._model = None
+        #: restore point after unconstrained training (Algorithm 2 step 2)
+        self.train_state: list | None = None
+        #: per-design retrained weight states
+        self.design_states: dict[str, list] = {}
+        #: ladder designs resolve to a concrete set during ``constrain``
+        self.chosen_sets: dict[str, AlphabetSet] = {}
+        #: completed stage results, keyed by stage name
+        self.results: dict[str, object] = {}
+        #: lowered networks per design (states are fixed once constrained,
+        #: so evaluate/export/serve-check share one QuantizedNetwork)
+        self._quantized: dict[str, QuantizedNetwork] = {}
+
+    # ------------------------------------------------------------------
+    @property
+    def dataset(self):
+        if self._dataset is None:
+            self._dataset = load_dataset(
+                self.config.app, n_train=self.tier.n_train,
+                n_test=self.tier.n_test, seed=self.config.seed)
+        return self._dataset
+
+    @property
+    def model(self):
+        if self._model is None:
+            self._model = build_model(self.config.app,
+                                      seed=self.config.seed + 1)
+        return self._model
+
+    def arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        return training_arrays(self.dataset, self.bench)
+
+    # ------------------------------------------------------------------
+    def design_set(self, design: str) -> AlphabetSet | None:
+        """The uniform alphabet set of *design* (``None`` = conventional).
+
+        ``mixed`` has no uniform set (use :meth:`design_plan`); ``ladder``
+        resolves to the set chosen during the ``constrain`` stage.
+        """
+        kind = parse_design(design)
+        if kind is None:
+            return None
+        if kind == "mixed":
+            raise StageError("'mixed' has a per-layer plan, not one set")
+        if kind == "ladder":
+            if design not in self.chosen_sets:
+                raise StageError(
+                    "ladder design not resolved yet - run 'constrain'")
+            return self.chosen_sets[design]
+        return standard_set(kind)
+
+    def design_plan(self, design: str) -> list[AlphabetSet | None]:
+        """Per-parameterised-layer alphabet plan of *design*."""
+        n_layers = len(self.model.trainable_layers)
+        kind = parse_design(design)
+        if kind == "mixed":
+            return list(paper_mixed_plan(self.config.app, self.model))
+        return [self.design_set(design)] * n_layers
+
+    def require_design_state(self, design: str) -> list:
+        try:
+            return self.design_states[design]
+        except KeyError:
+            raise StageError(
+                f"no retrained weights for design {design!r} - "
+                f"run 'constrain' first") from None
+
+    def design_quantized(self, design: str) -> QuantizedNetwork:
+        """The deployable quantised network of *design* (memoized)."""
+        if design in self._quantized:
+            return self._quantized[design]
+        model = self.model
+        model.load_state(self.require_design_state(design))
+        bits = self.bits
+        mode = self.config.constraint_mode
+        if parse_design(design) == "mixed":
+            layer_specs = [
+                QuantizationSpec(bits) if aset is None else
+                QuantizationSpec.constrained(bits, aset, mode=mode)
+                for aset in self.design_plan(design)]
+            quantized = QuantizedNetwork.from_float(
+                model, QuantizationSpec(bits), layer_specs=layer_specs)
+        else:
+            quantized = QuantizedNetwork.from_float(
+                model, QuantizationSpec.constrained(
+                    bits, self.design_set(design), mode=mode))
+        self._quantized[design] = quantized
+        return quantized
+
+
+# ----------------------------------------------------------------------
+# stages
+# ----------------------------------------------------------------------
+def stage_train(ctx: PipelineContext) -> TrainResult:
+    """Unconstrained training to saturation; stores the restore point."""
+    model = ctx.model
+    settings = ctx.settings
+    x_train, x_test = ctx.arrays()
+    trainer = Trainer(model, SGD(model, settings.learning_rate),
+                      batch_size=settings.batch_size,
+                      patience=settings.patience)
+    history = trainer.fit(x_train, ctx.dataset.y_train_onehot, x_test,
+                          ctx.dataset.y_test,
+                          max_epochs=ctx.tier.max_epochs)
+    ctx.train_state = model.state()
+    return TrainResult(
+        app=ctx.config.app, bits=ctx.bits, budget=ctx.tier.name,
+        seed=ctx.config.seed, epochs=history.epochs_run,
+        float_accuracy=model.accuracy(x_test, ctx.dataset.y_test))
+
+
+def stage_quantize(ctx: PipelineContext) -> QuantizeResult:
+    """Baseline accuracy J through the conventional quantised engine."""
+    if ctx.train_state is None:
+        raise StageError("'quantize' needs 'train' to have run")
+    model = ctx.model
+    model.load_state(ctx.train_state)
+    _, x_test = ctx.arrays()
+    baseline = QuantizedNetwork.from_float(
+        model, QuantizationSpec(ctx.bits)).accuracy(
+            x_test, ctx.dataset.y_test)
+    return QuantizeResult(bits=ctx.bits, baseline_accuracy=baseline)
+
+
+def stage_constrain(ctx: PipelineContext) -> ConstrainResult:
+    """Constrained retraining (Algorithm 2 step 3) per design."""
+    if ctx.train_state is None:
+        raise StageError("'constrain' needs 'train' to have run")
+    model = ctx.model
+    settings = ctx.settings
+    x_train, x_test = ctx.arrays()
+    outcomes: list[DesignOutcome] = []
+    for design in ctx.config.designs:
+        kind = parse_design(design)
+        if kind is None:
+            continue
+        model.load_state(ctx.train_state)
+        if kind == "ladder":
+            outcomes.append(_constrain_ladder(ctx, design))
+            continue
+        if kind == "mixed":
+            plan = ctx.design_plan(design)
+            projector = ConstraintProjector(
+                model, ctx.bits, layer_plan=plan,
+                mode=ctx.config.constraint_mode)
+        else:
+            projector = ConstraintProjector(
+                model, ctx.bits, standard_set(kind),
+                mode=ctx.config.constraint_mode)
+        optimizer = SGD(model, settings.learning_rate
+                        * settings.retrain_lr_scale)
+        retrainer = constrained_trainer(
+            model, optimizer, projector,
+            batch_size=settings.batch_size, patience=settings.patience)
+        history = retrainer.fit(x_train, ctx.dataset.y_train_onehot,
+                                x_test, ctx.dataset.y_test,
+                                max_epochs=ctx.tier.retrain_epochs)
+        ctx.design_states[design] = model.state()
+        outcomes.append(DesignOutcome(design=design,
+                                      epochs=history.epochs_run))
+    return ConstrainResult(outcomes=tuple(outcomes))
+
+
+def _constrain_ladder(ctx: PipelineContext, design: str) -> DesignOutcome:
+    """Algorithm 2's quality ladder for one ``ladder`` design."""
+    quantize = ctx.results.get("quantize")
+    if quantize is None:
+        raise StageError(
+            "'ladder' designs need the 'quantize' stage for the baseline "
+            "accuracy J")
+    settings = ctx.settings
+    train = ctx.results.get("train")
+    method = DesignMethodology(
+        ctx.bits, quality=ctx.config.quality, ladder=ctx.config.ladder,
+        base_learning_rate=settings.learning_rate,
+        retrain_lr_scale=settings.retrain_lr_scale,
+        batch_size=settings.batch_size, patience=settings.patience,
+        constraint_mode=ctx.config.constraint_mode, seed=ctx.config.seed)
+    result = method.escalate(
+        ctx.model, ctx.dataset, ctx.train_state,
+        quantize.baseline_accuracy,
+        float_accuracy=train.float_accuracy if train else None,
+        retrain_epochs=ctx.tier.retrain_epochs,
+        use_images=ctx.bench.needs_images)
+    final = result.final_stage
+    ctx.design_states[design] = ctx.model.state()
+    ctx.chosen_sets[design] = final.alphabet_set
+    return DesignOutcome(
+        design=design, epochs=final.epochs,
+        chosen_alphabets=final.num_alphabets,
+        ladder_accuracies=tuple(stage.accuracy for stage in result.stages))
+
+
+def stage_evaluate(ctx: PipelineContext) -> EvaluateResult:
+    """Bit-accurate ASM-engine accuracy per design."""
+    _, x_test = ctx.arrays()
+    y_test = ctx.dataset.y_test
+    quantize: QuantizeResult | None = ctx.results.get("quantize")
+    baseline = quantize.baseline_accuracy if quantize else None
+    rows: list[EvaluationRow] = []
+    for design in ctx.config.designs:
+        kind = parse_design(design)
+        if kind is None:
+            if baseline is None:
+                raise StageError(
+                    "evaluating 'conventional' needs the 'quantize' stage")
+            rows.append(EvaluationRow(design=design, label="conventional",
+                                      accuracy=baseline, loss=0.0))
+            continue
+        quantized = ctx.design_quantized(design)
+        if kind == "mixed":
+            label = "mixed(" + ",".join(
+                str(a) for a in ctx.design_plan(design)) + ")"
+        else:
+            aset = ctx.design_set(design)
+            label = f"{len(aset)} {aset}"
+            if kind == "ladder":
+                label = f"ladder {len(aset)} {aset}"
+        accuracy = quantized.accuracy(x_test, y_test)
+        rows.append(EvaluationRow(
+            design=design, label=label, accuracy=accuracy,
+            loss=None if baseline is None else baseline - accuracy))
+    return EvaluateResult(rows=tuple(rows))
+
+
+def stage_energy(ctx: PipelineContext) -> EnergyResult:
+    """CSHM-engine per-inference energy per design (architecture-only)."""
+    topology = ctx.model.topology()
+    n_layers = len(ctx.model.trainable_layers)
+    engine = ProcessingEngine(ctx.bits)
+    conventional = engine.run(topology, layer_alphabets=[None] * n_layers)
+    rows: list[EnergyDesignRow] = []
+    for design in ctx.config.designs:
+        if design == "conventional":
+            report = conventional
+        else:
+            report = engine.run(topology,
+                                layer_alphabets=ctx.design_plan(design))
+        rows.append(EnergyDesignRow(
+            design=design, label=report.design_label,
+            energy_nj=report.energy_nj, cycles=report.cycles,
+            normalized=report.energy_nj / conventional.energy_nj))
+    return EnergyResult(rows=tuple(rows))
+
+
+def stage_export(ctx: PipelineContext) -> ExportResult:
+    """Persist the export design as a serving artifact bundle."""
+    design = ctx.config.resolved_export_design()
+    quantized = ctx.design_quantized(design)
+    path = os.path.join(ctx.config.export_dir,
+                        f"{ctx.config.app}-{design}")
+    quantized.export(path)
+    artifact_bytes = sum(
+        os.path.getsize(os.path.join(path, item))
+        for item in os.listdir(path))
+    return ExportResult(design=design, path=path,
+                        spec_label=quantized.deployment_label,
+                        artifact_bytes=artifact_bytes)
+
+
+def stage_serve_check(ctx: PipelineContext) -> ServeCheckResult:
+    """Reload the export through the registry; verify bit-identity."""
+    from repro.serving.registry import ModelRegistry
+
+    export: ExportResult | None = ctx.results.get("export")
+    if export is None:
+        raise StageError("'serve-check' needs the 'export' stage")
+    registry = ModelRegistry()
+    entry = registry.register(
+        export.path, name=ctx.config.serve_name or ctx.config.app)
+    compiled = entry.model
+    quantized = ctx.design_quantized(export.design)
+    _, x_test = ctx.arrays()
+    reference = quantized.forward(x_test)
+    reloaded = compiled.forward(x_test)
+    return ServeCheckResult(
+        design=export.design, registry_key=entry.key,
+        num_params=compiled.num_params,
+        compiled_accuracy=compiled.accuracy(x_test, ctx.dataset.y_test),
+        bit_identical=bool(np.array_equal(reference, reloaded)),
+        energy_nj_per_inference=compiled.energy_per_inference_nj())
+
+
+STAGE_FUNCTIONS = {
+    "train": stage_train,
+    "quantize": stage_quantize,
+    "constrain": stage_constrain,
+    "evaluate": stage_evaluate,
+    "energy": stage_energy,
+    "export": stage_export,
+    "serve-check": stage_serve_check,
+}
+
+
+# ----------------------------------------------------------------------
+# cache round-trips
+# ----------------------------------------------------------------------
+def result_from_payload(stage: str, payload: dict):
+    """Rebuild a stage result from its :func:`to_jsonable` form."""
+    if stage == "train":
+        return TrainResult(**payload)
+    if stage == "quantize":
+        return QuantizeResult(**payload)
+    if stage == "constrain":
+        return ConstrainResult(outcomes=tuple(
+            DesignOutcome(
+                design=o["design"], epochs=o["epochs"],
+                chosen_alphabets=o.get("chosen_alphabets"),
+                ladder_accuracies=tuple(o.get("ladder_accuracies", ())))
+            for o in payload["outcomes"]))
+    if stage == "evaluate":
+        return EvaluateResult(rows=tuple(
+            EvaluationRow(**row) for row in payload["rows"]))
+    if stage == "energy":
+        return EnergyResult(rows=tuple(
+            EnergyDesignRow(**row) for row in payload["rows"]))
+    if stage == "export":
+        return ExportResult(**payload)
+    if stage == "serve-check":
+        return ServeCheckResult(**payload)
+    raise ValueError(f"unknown stage {stage!r}")
+
+
+def save_state(path: str, state: list) -> None:
+    """Persist a ``Sequential.state()`` weight snapshot as ``.npz``."""
+    arrays = {}
+    for index, layer_state in enumerate(state):
+        for key, value in layer_state.items():
+            arrays[f"{index}:{key}"] = value
+    np.savez(path, **arrays)
+
+
+def load_state(path: str, model) -> list:
+    """Load a snapshot written by :func:`save_state` (bit-exact)."""
+    template = model.state()
+    with np.load(path) as data:
+        return [{key: data[f"{index}:{key}"]
+                 for key in layer_state}
+                for index, layer_state in enumerate(template)]

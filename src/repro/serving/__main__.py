@@ -1,6 +1,7 @@
-"""``python -m repro.serving`` — the artifact server CLI."""
+"""``python -m repro.serving`` — the artifact server CLI (deprecated;
+use ``repro serve``)."""
 
-from repro.serving.server import main
+from repro.serving.server import deprecated_main
 
 if __name__ == "__main__":
-    raise SystemExit(main())
+    raise SystemExit(deprecated_main())

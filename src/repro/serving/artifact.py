@@ -156,7 +156,7 @@ def save_artifact(network: QuantizedNetwork, path: str,
         "act_fmt": _fmt_to_json(network.act_fmt),
         "input_spatial": (list(network.input_spatial)
                           if network.input_spatial else None),
-        "spec_label": spec.label,
+        "spec_label": network.deployment_label,
         "layers": layers_json,
         "array_hashes": {key: _array_digest(value)
                          for key, value in arrays.items()},

@@ -199,7 +199,7 @@ class CompiledModel:
             "constrainer_mode": (spec.constrainer.mode
                                  if spec.constrainer is not None else None),
             "use_lut": network.use_lut,
-            "spec_label": spec.label,
+            "spec_label": network.deployment_label,
             "input_spatial": (list(network.input_spatial)
                               if network.input_spatial else None),
         }

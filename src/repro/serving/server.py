@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import sys
 import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
@@ -30,7 +31,7 @@ from repro.serving.batching import BatchSettings, MicroBatcher
 from repro.serving.metrics import ServingMetrics
 from repro.serving.registry import ModelRegistry, default_registry
 
-__all__ = ["ServingServer", "create_server", "main"]
+__all__ = ["ServingServer", "create_server", "main", "deprecated_main"]
 
 
 class ServingServer(ThreadingHTTPServer):
@@ -226,6 +227,13 @@ def main(argv: list[str] | None = None) -> int:
           f"(POST /predict, GET /health /models /stats)")
     serve_forever(server)
     return 0
+
+
+def deprecated_main(argv: list[str] | None = None) -> int:
+    """Entry point of the legacy ``repro-serve`` console script."""
+    print("note: `repro-serve` is deprecated; use `repro serve` "
+          "(see `repro --help`)", file=sys.stderr)
+    return main(argv)
 
 
 if __name__ == "__main__":

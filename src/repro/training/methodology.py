@@ -19,7 +19,6 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.asm.alphabet import AlphabetSet, standard_set
-from repro.asm.constraints import WeightConstrainer
 from repro.datasets.base import Dataset
 from repro.nn.network import Sequential
 from repro.nn.optim import SGD
@@ -108,10 +107,8 @@ class DesignMethodology:
         if alphabet_set is None:
             spec = QuantizationSpec(self.bits)
         else:
-            constrainer = WeightConstrainer(
+            spec = QuantizationSpec.constrained(
                 self.bits, alphabet_set, mode=self.constraint_mode)
-            spec = QuantizationSpec(self.bits, alphabet_set,
-                                    constrainer=constrainer)
         quantized = QuantizedNetwork.from_float(network, spec)
         return quantized.accuracy(x_test, dataset.y_test)
 
@@ -134,8 +131,32 @@ class DesignMethodology:
         float_accuracy = network.accuracy(x_test, dataset.y_test)
         baseline = self._engine_accuracy(network, dataset, x_test, None)
         restore_point = network.state()
+        return self.escalate(network, dataset, restore_point, baseline,
+                             float_accuracy=float_accuracy,
+                             retrain_epochs=retrain_epochs,
+                             use_images=use_images, verbose=verbose)
+
+    def escalate(self, network: Sequential, dataset: Dataset,
+                 restore_point: list, baseline_accuracy: float,
+                 float_accuracy: float | None = None,
+                 retrain_epochs: int = 15, use_images: bool = False,
+                 verbose: bool = False) -> MethodologyResult:
+        """Steps 3-4 of Algorithm 2, starting from an already-trained
+        *restore_point* whose conventional-engine accuracy is
+        *baseline_accuracy* (J).
+
+        Escalates through the ladder until ``K >= J * Q``; on return the
+        network holds the last-tried (i.e. chosen) stage's weights.  Split
+        out of :meth:`run` so callers that train elsewhere — the
+        ``constrain`` stage of :mod:`repro.pipeline` — can reuse the
+        ladder without retraining step 1.
+        """
+        x_train = dataset.x_train if use_images else dataset.flat_train
+        x_test = dataset.x_test if use_images else dataset.flat_test
+        baseline = baseline_accuracy
         result = MethodologyResult(
-            float_accuracy=float_accuracy,
+            float_accuracy=(baseline_accuracy if float_accuracy is None
+                            else float_accuracy),
             baseline_accuracy=baseline,
             quality=self.quality,
         )

@@ -12,8 +12,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.asm.alphabet import ALPHA_1, AlphabetSet
-from repro.asm.constraints import WeightConstrainer
+from repro.asm.alphabet import ALPHA_1, ALPHA_2, ALPHA_4, AlphabetSet
 from repro.datasets.base import Dataset
 from repro.hardware.engine import ProcessingEngine
 from repro.nn.network import Sequential
@@ -25,7 +24,11 @@ from repro.training.constrained import (
     weight_param_name,
 )
 
-__all__ = ["build_mixed_plan", "MixedPlanResult", "evaluate_plan"]
+__all__ = ["build_mixed_plan", "paper_mixed_plan", "MIXED_PLAN_APPS",
+           "MixedPlanResult", "evaluate_plan"]
+
+#: Applications with a §VI.E mixed plan (the ones Fig. 11 covers).
+MIXED_PLAN_APPS = ("mnist_mlp", "svhn", "tich")
 
 
 def build_mixed_plan(network: Sequential,
@@ -48,6 +51,22 @@ def build_mixed_plan(network: Sequential,
     plan: list[AlphabetSet] = [base_set] * (num_layers - len(final_sets))
     plan.extend(final_sets)
     return plan
+
+
+def paper_mixed_plan(app: str, network: Sequential) -> list[AlphabetSet]:
+    """The paper's §VI.E plan for each Fig. 11 application.
+
+    MNIST (2-layer): {1} hidden, {1,3,5,7} output.
+    SVHN (6-layer) and TICH (5-layer): {1} early, {1,3} penultimate,
+    {1,3,5,7} ultimate.
+    """
+    if app == "mnist_mlp":
+        return build_mixed_plan(network, [ALPHA_4], base_set=ALPHA_1)
+    if app in ("svhn", "tich"):
+        return build_mixed_plan(network, [ALPHA_2, ALPHA_4],
+                                base_set=ALPHA_1)
+    raise ValueError(f"no §VI.E mixed plan for {app!r}; "
+                     f"choose from {MIXED_PLAN_APPS}")
 
 
 @dataclass(frozen=True)
@@ -99,10 +118,8 @@ def evaluate_plan(network: Sequential, dataset: Dataset, bits: int,
         if aset is None:
             layer_specs.append(QuantizationSpec(bits))
         else:
-            layer_specs.append(QuantizationSpec(
-                bits, aset,
-                constrainer=WeightConstrainer(bits, aset,
-                                              mode=constraint_mode)))
+            layer_specs.append(QuantizationSpec.constrained(
+                bits, aset, mode=constraint_mode))
     quantized = QuantizedNetwork.from_float(network, base_spec,
                                             layer_specs=layer_specs)
     accuracy = quantized.accuracy(x_test, dataset.y_test)

@@ -1,0 +1,5 @@
+"""Shared utilities used across subsystems (serialization, ...)."""
+
+from repro.utils.serialization import to_jsonable, write_json
+
+__all__ = ["to_jsonable", "write_json"]

@@ -1,0 +1,44 @@
+"""JSON-friendly serialization of result objects.
+
+One dataclass-walking converter shared by the experiment runner's
+``--json`` output and the pipeline's :class:`~repro.pipeline.report.
+PipelineReport` (both used to hand-roll their own copy).  The goal is
+*fidelity*, not schema: dataclasses become dicts, tuples become lists,
+numpy scalars/arrays become their Python equivalents, and anything else
+passes through for ``json.dump(..., default=str)`` to finish off.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import asdict, is_dataclass
+
+import numpy as np
+
+__all__ = ["to_jsonable", "write_json"]
+
+
+def to_jsonable(value):
+    """Recursively convert *value* into JSON-serialisable builtins."""
+    if is_dataclass(value) and not isinstance(value, type):
+        return {k: to_jsonable(v) for k, v in asdict(value).items()}
+    if isinstance(value, dict):
+        return {str(k): to_jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [to_jsonable(v) for v in value]
+    if isinstance(value, np.generic):
+        return value.item()
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    return value
+
+
+def write_json(path: str, payload, indent: int = 2) -> str:
+    """Write *payload* (via :func:`to_jsonable`) to *path*; returns *path*."""
+    parent = os.path.dirname(path)
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+    with open(path, "w") as handle:
+        json.dump(to_jsonable(payload), handle, indent=indent, default=str)
+    return path
