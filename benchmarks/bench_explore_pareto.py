@@ -1,0 +1,62 @@
+"""Exploration benchmarks: Pareto reduction cost + a tiny end-to-end grid.
+
+Two things matter for the explorer's scalability: (1) the Pareto
+reduction is the only part whose cost grows with the candidate count
+alone (quadratic pairwise sweep), so time it on a large synthetic cloud;
+(2) a real (tiny) grid exploration through the shared stage cache shows
+the end-to-end path and emits the frontier table the subsystem exists to
+produce.
+"""
+
+import numpy as np
+from conftest import TINY, emit
+
+from repro.explore import (
+    SearchSpace,
+    format_exploration_report,
+    pareto_frontier,
+    resolve_objectives,
+    run_exploration,
+)
+
+N_POINTS = 2000
+OBJECTIVES = resolve_objectives(("accuracy", "energy_nj", "area_um2"))
+
+
+def _synthetic_cloud(n: int) -> list[dict]:
+    rng = np.random.default_rng(11)
+    points = []
+    for accuracy, energy, area in zip(rng.uniform(0.5, 1.0, n),
+                                      rng.uniform(10.0, 100.0, n),
+                                      rng.uniform(1e3, 1e5, n)):
+        points.append({"accuracy": float(accuracy),
+                       "energy_nj": float(energy),
+                       "area_um2": float(area)})
+    return points
+
+
+def test_bench_pareto_reduction(benchmark):
+    points = _synthetic_cloud(N_POINTS)
+    frontier = benchmark(pareto_frontier, points, OBJECTIVES)
+    assert 0 < len(frontier) < N_POINTS
+    # frontier members are mutually non-dominated by construction;
+    # spot-check the extremes survived
+    best_acc = max(range(N_POINTS),
+                   key=lambda i: points[i]["accuracy"])
+    assert best_acc in frontier
+
+
+def test_bench_explore_tiny_grid(benchmark, tmp_path):
+    budget = {"name": TINY.name, "n_train": TINY.n_train,
+              "n_test": TINY.n_test, "max_epochs": TINY.max_epochs,
+              "retrain_epochs": TINY.retrain_epochs}
+    space = SearchSpace(app="face", name="bench-grid",
+                        designs=("conventional", "asm2", "asm1"),
+                        budgets=(budget,), seeds=(0,))
+    report = benchmark.pedantic(
+        lambda: run_exploration(space, str(tmp_path / "journal"), jobs=2),
+        rounds=1, iterations=1)
+
+    emit("explore_pareto", format_exploration_report(report))
+    assert len(report.records) == 3
+    assert report.frontier

@@ -34,6 +34,12 @@ Subpackages
 ``repro.training``
     Constrained retraining (projected SGD), Algorithm-2 methodology,
     mixed per-layer alphabet plans (§VI.E).
+``repro.explore``
+    Parallel design-space exploration: declarative ``SearchSpace``,
+    grid/random/sensitivity-guided strategies on a multiprocessing
+    worker pool, resumable journals, Pareto frontiers over
+    accuracy/energy/area/delay, frontier export into the serving
+    registry.
 ``repro.experiments``
     Thin table-formatters over pipeline reports, reproducing every table
     and figure of the paper.
@@ -45,13 +51,15 @@ Subpackages
     Shared utilities (JSON serialization of result objects).
 """
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = ["__version__", "PipelineConfig", "Pipeline", "PipelineReport",
-           "run_pipeline"]
+           "run_pipeline", "SearchSpace", "ExplorationReport",
+           "run_exploration"]
 
 _PIPELINE_EXPORTS = {"PipelineConfig", "Pipeline", "PipelineReport",
                      "run_pipeline"}
+_EXPLORE_EXPORTS = {"SearchSpace", "ExplorationReport", "run_exploration"}
 
 
 def __getattr__(name: str):
@@ -59,4 +67,7 @@ def __getattr__(name: str):
     if name in _PIPELINE_EXPORTS:
         from repro import pipeline
         return getattr(pipeline, name)
+    if name in _EXPLORE_EXPORTS:
+        from repro import explore
+        return getattr(explore, name)
     raise AttributeError(f"module 'repro' has no attribute {name!r}")

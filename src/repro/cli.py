@@ -3,21 +3,24 @@
 One console entry point for the whole flow::
 
     repro run examples/configs/digits_quick.json   # declarative pipeline
-    repro run cfg.json --stages train,evaluate --cache-dir .cache
+    repro run cfg.json --seeds 0,1,2 --jobs 3      # multi-seed, parallel
     repro experiment fig7 --full                   # paper tables/figures
+    repro explore examples/configs/digits_explore.toml --jobs 4
     repro serve results/artifacts/mnist_mlp-asm2   # HTTP inference server
     repro list                                     # what exists
 
-``repro run`` executes a :class:`~repro.pipeline.config.PipelineConfig`
-file (JSON or TOML) and prints the report; ``repro experiment`` subsumes
-the legacy ``python -m repro.experiments.runner``; ``repro serve``
-subsumes ``repro-serve`` (both remain as deprecation shims for one
-release).
+``repro run`` executes :class:`~repro.pipeline.config.PipelineConfig`
+files (JSON or TOML) and prints the reports; ``repro explore`` walks a
+:class:`~repro.explore.space.SearchSpace` on a worker pool and reduces
+it to Pareto frontiers; ``repro experiment`` subsumes the legacy
+``python -m repro.experiments.runner``; ``repro serve`` subsumes
+``repro-serve`` (both remain as deprecation shims for one release).
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 from repro.pipeline.config import (
@@ -28,31 +31,72 @@ from repro.pipeline.config import (
 
 __all__ = ["main"]
 
+#: Where cached pipeline runs / exploration journals live by default
+#: (``repro list`` scans these; ``--cache-dir`` / ``--journal`` override).
+DEFAULT_CACHE_DIR = os.path.join("results", "pipeline-cache")
+DEFAULT_EXPLORE_DIR = os.path.join("results", "explore")
+
+
+def _parse_seeds(text: str | None) -> tuple[int, ...] | None:
+    if text is None:
+        return None
+    try:
+        seeds = tuple(int(s) for s in text.split(",") if s)
+    except ValueError:
+        raise PipelineConfigError(f"bad --seeds value {text!r}; "
+                                  f"expected e.g. 0,1,2")
+    if not seeds:
+        raise PipelineConfigError("--seeds must name at least one seed")
+    return seeds
+
 
 def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.explore.executor import run_pipeline_jobs
     from repro.pipeline.pipeline import Pipeline
     from repro.pipeline.report import format_report
+    from repro.pipeline.stages import StageError
+    from repro.utils.serialization import write_json
 
     try:
-        config = PipelineConfig.load(args.config)
-        if args.seed is not None:
-            config = config.with_overrides(seed=args.seed)
-        if args.full:
-            config = config.with_overrides(budget="full")
         stages = tuple(s for s in args.stages.split(",") if s) \
             if args.stages else None
-        pipeline = Pipeline(config, cache_dir=args.cache_dir)
-        report = pipeline.run(stages=stages, resume=not args.no_resume,
-                              verbose=not args.quiet)
-    except (PipelineConfigError, OSError, ValueError) as error:
+        seeds = _parse_seeds(args.seeds)
+        configs: list[PipelineConfig] = []
+        for path in args.config:
+            config = PipelineConfig.load(path)
+            if args.full:
+                config = config.with_overrides(budget="full")
+            if args.cache_dir is not None:
+                config = config.with_overrides(cache_dir=args.cache_dir)
+            if seeds is not None:
+                configs.extend(config.with_overrides(seed=seed)
+                               for seed in seeds)
+            elif args.seed is not None:
+                configs.append(config.with_overrides(seed=args.seed))
+            else:
+                configs.append(config)
+        if len(configs) == 1:
+            # single run: keep live per-stage progress
+            report = Pipeline(configs[0]).run(
+                stages=stages, resume=not args.no_resume,
+                verbose=not args.quiet)
+            if not args.quiet:
+                print()
+            print(format_report(report))
+            if args.json:
+                print(f"\n[wrote {report.save(args.json)}]")
+            return 0
+        results = run_pipeline_jobs(configs, stages=stages,
+                                    resume=not args.no_resume,
+                                    jobs=args.jobs)
+        print("\n\n".join(result["text"] for result in results))
+        if args.json:
+            path = write_json(args.json,
+                              {"reports": [r["report"] for r in results]})
+            print(f"\n[wrote {path}]")
+    except (PipelineConfigError, StageError, OSError, ValueError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 1
-    if not args.quiet:
-        print()
-    print(format_report(report))
-    if args.json:
-        path = report.save(args.json)
-        print(f"\n[wrote {path}]")
     return 0
 
 
@@ -62,10 +106,54 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     names = EXPERIMENTS if args.name == "all" else (args.name,)
     try:
         return execute(names, full=args.full, seed=args.seed,
-                       write_results=args.json)
+                       write_results=args.json, jobs=args.jobs)
     except ValueError as error:
         print(f"error: {error}", file=sys.stderr)
         return 1
+
+
+def _cmd_explore(args: argparse.Namespace) -> int:
+    from repro.explore import (
+        JournalError,
+        SearchSpace,
+        SearchSpaceError,
+        format_exploration_report,
+        register_frontier,
+        run_exploration,
+    )
+    from repro.pipeline.stages import StageError
+
+    try:
+        space = SearchSpace.load(args.space)
+        journal_dir = args.journal if args.journal is not None else \
+            os.path.join(DEFAULT_EXPLORE_DIR, space.name)
+        report = run_exploration(space, journal_dir,
+                                 cache_dir=args.cache_dir,
+                                 jobs=args.jobs,
+                                 resume=not args.no_resume,
+                                 verbose=not args.quiet)
+    except (SearchSpaceError, JournalError, StageError, OSError,
+            ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    if not args.quiet:
+        print()
+    print(format_exploration_report(report))
+    print(f"\n[journal: {journal_dir}]")
+    if args.json:
+        print(f"[wrote {report.save(args.json)}]")
+    if args.register:
+        # the report remembers the stage cache it ran against, so this
+        # re-runs nothing but the export stage per winner
+        entries = register_frontier(report, verbose=not args.quiet)
+        if entries:
+            print("\nregistered frontier designs:")
+            for entry in entries:
+                print(f"  {entry.key:<24} {entry.path}")
+        else:
+            print("\nno ASM/mixed design on the frontier; "
+                  "nothing to register")
+    return 0
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
@@ -77,16 +165,43 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 def _cmd_list(args: argparse.Namespace) -> int:
     from repro.datasets.registry import BENCHMARKS
     from repro.experiments.runner import EXPERIMENTS
+    from repro.explore.journal import list_journals
+    from repro.pipeline.pipeline import list_cached_runs
 
     print("pipeline stages (repro run):")
     print("  " + ", ".join(STAGE_NAMES))
     print("designs:")
-    print("  conventional, asm1, asm2, asm4, asm8, mixed, ladder")
+    print("  conventional, asm1, asm2, asm4, asm8, mixed, "
+          "mixed:C1-C2-..., ladder")
     print("benchmarks:")
     for key, spec in BENCHMARKS.items():
         print(f"  {key:<10} {spec.description}")
     print("experiments (repro experiment):")
     print("  " + ", ".join(EXPERIMENTS))
+
+    runs = list_cached_runs(args.cache_dir)
+    print(f"cached pipeline runs ({args.cache_dir}):")
+    if runs:
+        for run in runs:
+            print(f"  {run.get('config_digest', '?')[:12]}  "
+                  f"{run.get('app', '?'):<10} seed={run.get('seed', '?')} "
+                  f"budget={run.get('budget', '?'):<6} "
+                  f"designs={','.join(run.get('designs', []))} "
+                  f"stages={','.join(run.get('stages', []))}")
+    else:
+        print("  (none)")
+
+    journals = list_journals(args.explore_dir)
+    print(f"exploration journals ({args.explore_dir}):")
+    if journals:
+        for journal in journals:
+            status = "report ready" if journal["has_report"] \
+                else "in progress"
+            print(f"  {journal['path']}  app={journal['app']} "
+                  f"strategy={journal['strategy']} "
+                  f"records={journal['records']} ({status})")
+    else:
+        print("  (none)")
     return 0
 
 
@@ -94,14 +209,15 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Multiplier-less Artificial Neurons: train, constrain, "
-                    "evaluate, export and serve from one CLI")
+                    "evaluate, explore, export and serve from one CLI")
     sub = parser.add_subparsers(dest="command", required=True)
 
     run = sub.add_parser(
-        "run", help="execute a declarative pipeline config (.json/.toml)")
-    run.add_argument("config", help="path to a PipelineConfig file")
+        "run", help="execute declarative pipeline configs (.json/.toml)")
+    run.add_argument("config", nargs="+",
+                     help="path(s) to PipelineConfig files")
     run.add_argument("--stages", default=None, metavar="S1,S2,...",
-                     help="override the config's stage list "
+                     help="override the configs' stage list "
                           f"(choose from {','.join(STAGE_NAMES)})")
     run.add_argument("--cache-dir", default=None,
                      help="stage cache root (overrides config.cache_dir)")
@@ -110,9 +226,14 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--full", action="store_true",
                      help="override the budget to the paper-scale tier")
     run.add_argument("--seed", type=int, default=None,
-                     help="override the config's seed")
+                     help="override the configs' seed")
+    run.add_argument("--seeds", default=None, metavar="S1,S2,...",
+                     help="fan each config out over several seeds "
+                          "(combine with --jobs)")
+    run.add_argument("--jobs", type=int, default=1, metavar="N",
+                     help="worker processes for multi-config/seed runs")
     run.add_argument("--json", default=None, metavar="PATH",
-                     help="also write the report as JSON to PATH")
+                     help="also write the report(s) as JSON to PATH")
     run.add_argument("--quiet", action="store_true",
                      help="suppress per-stage progress lines")
     run.set_defaults(func=_cmd_run)
@@ -124,9 +245,36 @@ def build_parser() -> argparse.ArgumentParser:
     experiment.add_argument("--full", action="store_true",
                             help="paper-scale training budgets")
     experiment.add_argument("--seed", type=int, default=0)
+    experiment.add_argument("--jobs", type=int, default=1, metavar="N",
+                            help="worker processes when running several "
+                                 "experiments")
     experiment.add_argument("--json", action="store_true",
                             help="write results/<experiment>.json")
     experiment.set_defaults(func=_cmd_experiment)
+
+    explore = sub.add_parser(
+        "explore", help="design-space exploration over a SearchSpace "
+                        "(.json/.toml); reduces to Pareto frontiers")
+    explore.add_argument("space", help="path to a SearchSpace file")
+    explore.add_argument("--jobs", type=int, default=1, metavar="N",
+                         help="parallel candidate evaluations")
+    explore.add_argument("--journal", default=None, metavar="DIR",
+                         help="journal directory (default: "
+                              f"{DEFAULT_EXPLORE_DIR}/<space name>); "
+                              "re-running resumes from it")
+    explore.add_argument("--cache-dir", default=None,
+                         help="pipeline stage cache shared by the workers "
+                              "(default: <journal>/cache)")
+    explore.add_argument("--no-resume", action="store_true",
+                         help="ignore the journal and stage cache")
+    explore.add_argument("--register", action="store_true",
+                         help="export frontier winners and register them "
+                              "in the serving model registry")
+    explore.add_argument("--json", default=None, metavar="PATH",
+                         help="also write the ExplorationReport to PATH")
+    explore.add_argument("--quiet", action="store_true",
+                         help="suppress per-candidate progress lines")
+    explore.set_defaults(func=_cmd_explore)
 
     serve = sub.add_parser(
         "serve", help="serve exported artifacts over HTTP "
@@ -136,7 +284,12 @@ def build_parser() -> argparse.ArgumentParser:
     serve.set_defaults(func=_cmd_serve)
 
     lst = sub.add_parser(
-        "list", help="list stages, designs, benchmarks and experiments")
+        "list", help="list stages, designs, benchmarks, experiments, "
+                     "cached runs and exploration journals")
+    lst.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR,
+                     help="stage cache root to scan for cached runs")
+    lst.add_argument("--explore-dir", default=DEFAULT_EXPLORE_DIR,
+                     help="directory to scan for exploration journals")
     lst.set_defaults(func=_cmd_list)
     return parser
 

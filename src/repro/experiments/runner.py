@@ -100,8 +100,23 @@ EXPERIMENTS = ("table1", "table2", "table3", "table4", "table5",
 
 
 def execute(names: tuple[str, ...], full: bool = False, seed: int = 0,
-            write_results: bool = False) -> int:
-    """Run *names* in order, printing tables (the shared CLI body)."""
+            write_results: bool = False, jobs: int = 1) -> int:
+    """Run *names* in order, printing tables (the shared CLI body).
+
+    ``jobs > 1`` evaluates the experiments on a worker pool (each is
+    independent); output is still printed in the requested order.
+    """
+    if jobs > 1 and len(names) > 1:
+        from repro.explore.executor import run_experiment_jobs
+
+        for result in run_experiment_jobs(names, full=full, seed=seed,
+                                          write_results=write_results,
+                                          jobs=jobs):
+            print(result["text"])
+            print()
+            if result["path"]:
+                print(f"[wrote {result['path']}]")
+        return 0
     for name in names:
         text, payload = run_experiment(name, full=full, seed=seed)
         print(text)

@@ -1,0 +1,215 @@
+"""Multiprocessing evaluation of exploration candidates.
+
+One shared worker-pool layer for everything in the repo that fans
+pipeline work out over processes:
+
+* :func:`run_candidates` — evaluate a list of candidate
+  :class:`PipelineConfig`s (the explorer's hot path), journaling each
+  result as it lands;
+* :func:`run_pipeline_jobs` / :func:`run_experiment_jobs` — the
+  ``--jobs`` flag of ``repro run`` and ``repro experiment``.
+
+Determinism: workers only *compute*; the parent process owns the journal
+and the result ordering (records are keyed by candidate config digest
+and re-ordered by candidate index), so ``jobs=1`` and ``jobs=N`` produce
+bit-identical journals and frontiers.  Workers share the pipeline stage
+cache directory — safe, because stage-cache writes are atomic and the
+stages are deterministic (two workers racing to produce an entry write
+identical bytes).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from collections.abc import Callable, Sequence
+
+from repro.explore.journal import RECORD_FORMAT, ExplorationJournal
+from repro.pipeline.config import PipelineConfig
+from repro.pipeline.pipeline import Pipeline
+from repro.pipeline.report import PipelineReport
+
+__all__ = ["RECORD_FORMAT", "metrics_from_report", "evaluate_candidate",
+           "run_candidates", "pool_map", "run_pipeline_jobs",
+           "run_experiment_jobs"]
+
+#: Metric keys every candidate record carries (the Pareto axes).
+METRIC_KEYS = ("accuracy", "accuracy_loss", "energy_nj",
+               "energy_per_mac_fj", "area_um2", "latency_us", "cycles")
+
+
+def _pool_context():
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context(
+        "fork" if "fork" in methods else "spawn")
+
+
+def pool_map(fn: Callable, payloads: Sequence, jobs: int,
+             on_result: Callable[[object], None] | None = None) -> list:
+    """Map *fn* over *payloads*, in-process or on a worker pool.
+
+    *fn* must accept one payload and return ``(index, value)`` with the
+    payload's position; results come back ordered by that index whatever
+    the completion order.  ``on_result`` (if given) sees each
+    ``(index, value)`` as it completes — the journaling hook.
+    """
+    results: dict[int, object] = {}
+    if jobs <= 1 or len(payloads) <= 1:
+        for payload in payloads:
+            index, value = fn(payload)
+            if on_result is not None:
+                on_result((index, value))
+            results[index] = value
+    else:
+        ctx = _pool_context()
+        with ctx.Pool(processes=min(jobs, len(payloads))) as pool:
+            for index, value in pool.imap_unordered(fn, payloads):
+                if on_result is not None:
+                    on_result((index, value))
+                results[index] = value
+    return [results[index] for index in sorted(results)]
+
+
+# ----------------------------------------------------------------------
+# candidate evaluation
+# ----------------------------------------------------------------------
+def metrics_from_report(report: PipelineReport, design: str) -> dict:
+    """Flatten one design's pipeline report into the Pareto metric axes."""
+    eval_row = report.require("evaluate").row_for(design)
+    energy_row = report.require("energy").row_for(design)
+    return {
+        "accuracy": eval_row.accuracy,
+        "accuracy_loss": (eval_row.loss if eval_row.loss is not None
+                          else 0.0),
+        "energy_nj": energy_row.energy_nj,
+        "energy_per_mac_fj": energy_row.energy_per_mac_fj,
+        "area_um2": energy_row.area_um2,
+        "latency_us": energy_row.latency_us,
+        "cycles": energy_row.cycles,
+    }
+
+
+def evaluate_candidate(config: PipelineConfig,
+                       resume: bool = True) -> dict:
+    """Run one candidate pipeline and reduce it to a journal record.
+
+    The record is pure JSON builtins and intentionally contains nothing
+    order-, timing- or location-dependent (``cache_dir`` is stripped, and
+    ``cached_stages`` is *not* recorded — which stages happened to be
+    warm differs between serial and parallel runs of the same space).
+    """
+    report = Pipeline(config).run(resume=resume)
+    design = config.designs[0]
+    eval_row = report.require("evaluate").row_for(design)
+    config_dict = config.to_dict()
+    config_dict["cache_dir"] = None
+    record = {
+        "format": RECORD_FORMAT,
+        "config": config_dict,
+        "config_digest": config.digest(),
+        "design": design,
+        "label": eval_row.label,
+        "metrics": metrics_from_report(report, design),
+    }
+    if design != "conventional":
+        outcome = report.require("constrain").outcome_for(design)
+        record["retrain_epochs"] = outcome.epochs
+        if outcome.chosen_alphabets is not None:
+            record["chosen_alphabets"] = outcome.chosen_alphabets
+    return record
+
+
+def _candidate_worker(payload) -> tuple[int, dict]:
+    index, config_dict, resume = payload
+    config = PipelineConfig.from_dict(config_dict)
+    return index, evaluate_candidate(config, resume=resume)
+
+
+def run_candidates(configs: Sequence[PipelineConfig],
+                   journal: ExplorationJournal | None = None,
+                   jobs: int = 1, resume: bool = True,
+                   verbose: bool = False) -> tuple[list[dict], dict]:
+    """Evaluate *configs*, reusing journal records where possible.
+
+    Returns ``(records, stats)`` with records in candidate order and
+    ``stats = {"candidates", "journal_hits", "evaluated"}``.  With
+    ``resume=False`` both the journal and the pipeline stage cache are
+    ignored (and then rewritten).
+    """
+    records: dict[int, dict] = {}
+    pending: list[tuple[int, dict, bool]] = []
+    for index, config in enumerate(configs):
+        digest = config.digest()
+        cached = journal.load_record(digest) if (journal is not None
+                                                and resume) else None
+        if cached is not None:
+            records[index] = cached
+            if verbose:
+                print(f"[{index + 1}/{len(configs)}] "
+                      f"{config.designs[0]} seed={config.seed}: journal hit")
+        else:
+            pending.append((index, config.to_dict(), resume))
+
+    def landed(item) -> None:
+        index, record = item
+        records[index] = record
+        if journal is not None:
+            journal.write_record(record)
+        if verbose:
+            metrics = record["metrics"]
+            print(f"[{index + 1}/{len(configs)}] {record['design']} "
+                  f"seed={record['config']['seed']}: "
+                  f"accuracy={metrics['accuracy'] * 100:.2f}% "
+                  f"energy={metrics['energy_nj']:.1f}nJ")
+
+    pool_map(_candidate_worker, pending, jobs, on_result=landed)
+    stats = {
+        "candidates": len(configs),
+        "journal_hits": len(configs) - len(pending),
+        "evaluated": len(pending),
+    }
+    return [records[index] for index in sorted(records)], stats
+
+
+# ----------------------------------------------------------------------
+# generic pipeline / experiment fan-out (the CLI --jobs flag)
+# ----------------------------------------------------------------------
+def _pipeline_job(payload) -> tuple[int, dict]:
+    from repro.pipeline.report import format_report
+
+    index, config_dict, stages, resume = payload
+    config = PipelineConfig.from_dict(config_dict)
+    report = Pipeline(config).run(stages=stages, resume=resume)
+    return index, {"config_digest": config.digest(),
+                   "text": format_report(report),
+                   "report": report.to_dict()}
+
+
+def run_pipeline_jobs(configs: Sequence[PipelineConfig],
+                      stages: tuple[str, ...] | None = None,
+                      resume: bool = True, jobs: int = 1) -> list[dict]:
+    """Run several pipeline configs, each returning its formatted report."""
+    payloads = [(index, config.to_dict(), stages, resume)
+                for index, config in enumerate(configs)]
+    return pool_map(_pipeline_job, payloads, jobs)
+
+
+def _experiment_job(payload) -> tuple[int, dict]:
+    from repro.experiments.runner import run_experiment
+    from repro.utils.serialization import write_json
+
+    index, name, full, seed, write_results = payload
+    text, result = run_experiment(name, full=full, seed=seed)
+    path = None
+    if write_results:
+        path = write_json(os.path.join("results", f"{name}.json"), result)
+    return index, {"name": name, "text": text, "path": path}
+
+
+def run_experiment_jobs(names: Sequence[str], full: bool = False,
+                        seed: int = 0, write_results: bool = False,
+                        jobs: int = 1) -> list[dict]:
+    """Run several named experiments, each returning its printable text."""
+    payloads = [(index, name, full, seed, write_results)
+                for index, name in enumerate(names)]
+    return pool_map(_experiment_job, payloads, jobs)

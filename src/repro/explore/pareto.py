@@ -1,0 +1,103 @@
+"""Pareto dominance utilities over candidate metric mappings.
+
+The explorer reduces every evaluated design point to a flat
+``metric name -> float`` mapping and asks one question: which points are
+*Pareto-optimal* under the configured objectives?  A point is dominated
+when another point is no worse on every objective and strictly better on
+at least one; the frontier is the set of non-dominated points.
+
+Conventions
+-----------
+* Duplicate points (equal on every objective) do not dominate each other
+  — all copies stay on the frontier.
+* With a single objective the frontier is every point attaining the
+  optimum (ties included).
+* Indices into the input sequence are returned in input order, so the
+  frontier of a deterministically-ordered candidate list is itself
+  deterministic.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass
+
+__all__ = ["Objective", "OBJECTIVES", "resolve_objectives", "dominates",
+           "pareto_frontier"]
+
+
+@dataclass(frozen=True)
+class Objective:
+    """One axis of the trade-off: a metric key and a direction."""
+
+    key: str
+    maximize: bool = False
+
+    def better(self, a: float, b: float) -> bool:
+        """True when value *a* is strictly better than *b*."""
+        return a > b if self.maximize else a < b
+
+
+#: The metric axes a :class:`~repro.explore.space.SearchSpace` may name,
+#: with the direction that makes each one "better".
+OBJECTIVES: dict[str, Objective] = {
+    "accuracy": Objective("accuracy", maximize=True),
+    "accuracy_loss": Objective("accuracy_loss"),
+    "energy_nj": Objective("energy_nj"),
+    "energy_per_mac_fj": Objective("energy_per_mac_fj"),
+    "area_um2": Objective("area_um2"),
+    "latency_us": Objective("latency_us"),
+    "cycles": Objective("cycles"),
+}
+
+
+def resolve_objectives(keys: Sequence[str]) -> tuple[Objective, ...]:
+    """Map metric names to :class:`Objective` records (unknown = error)."""
+    if not keys:
+        raise ValueError("at least one objective is required")
+    resolved = []
+    for key in keys:
+        try:
+            resolved.append(OBJECTIVES[key])
+        except KeyError:
+            raise ValueError(
+                f"unknown objective {key!r}; choose from "
+                f"{sorted(OBJECTIVES)}") from None
+    return tuple(resolved)
+
+
+def dominates(a: Mapping[str, float], b: Mapping[str, float],
+              objectives: Sequence[Objective]) -> bool:
+    """True when point *a* Pareto-dominates point *b*.
+
+    *a* dominates *b* iff *a* is no worse on every objective and strictly
+    better on at least one.  Equal points therefore never dominate each
+    other.
+    """
+    strictly_better = False
+    for obj in objectives:
+        av, bv = a[obj.key], b[obj.key]
+        if obj.better(bv, av):
+            return False
+        if obj.better(av, bv):
+            strictly_better = True
+    return strictly_better
+
+
+def pareto_frontier(points: Sequence[Mapping[str, float]],
+                    objectives: Sequence[Objective]) -> tuple[int, ...]:
+    """Indices of the non-dominated *points*, in input order.
+
+    O(n^2) pairwise sweep — candidate counts are small (a design-space
+    grid, not a population), and the simple form keeps ties and
+    duplicates exactly to the documented conventions.
+    """
+    if not objectives:
+        raise ValueError("at least one objective is required")
+    frontier = []
+    for i, point in enumerate(points):
+        if any(dominates(other, point, objectives)
+               for j, other in enumerate(points) if j != i):
+            continue
+        frontier.append(i)
+    return tuple(frontier)

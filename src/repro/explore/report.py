@@ -1,0 +1,144 @@
+"""The :class:`ExplorationReport` — one serialisable record per exploration.
+
+Same conventions as :class:`~repro.pipeline.report.PipelineReport`: a
+frozen dataclass holding everything the run knows, a ``to_dict`` that is
+one ``json.dump`` away from disk, and a plain-text formatter rendering
+through :func:`repro.hardware.report.format_table` so exploration output
+looks like every other table in the repo.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+
+from repro.explore.pareto import resolve_objectives
+from repro.explore.space import SearchSpace
+from repro.hardware.report import format_table
+from repro.utils.serialization import write_json
+
+__all__ = ["ExplorationReport", "format_exploration_report"]
+
+
+@dataclass(frozen=True)
+class ExplorationReport:
+    """Everything one exploration run knows."""
+
+    space: SearchSpace
+    records: tuple[dict, ...]        # candidate records, enumeration order
+    frontier: tuple[int, ...]        # indices into records
+    journal_hits: int = 0
+    evaluated: int = 0
+    #: stage cache the exploration ran against, so follow-up work
+    #: (register_frontier) reuses it.  Deliberately NOT serialised:
+    #: records and reports must stay location-independent (the
+    #: serial-vs-parallel bit-identity guarantee).
+    cache_dir: str | None = None
+
+    # ------------------------------------------------------------------
+    def frontier_records(self) -> list[dict]:
+        return [self.records[index] for index in self.frontier]
+
+    def best(self, objective: str) -> dict:
+        """The record optimising one *objective* alone (ties: first)."""
+        (resolved,) = resolve_objectives((objective,))
+        best = None
+        for record in self.records:
+            value = record["metrics"][resolved.key]
+            if best is None or resolved.better(
+                    value, best["metrics"][resolved.key]):
+                best = record
+        if best is None:
+            raise ValueError("exploration produced no records")
+        return best
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "space": self.space.to_dict(),
+            "space_digest": self.space.digest(),
+            "objectives": list(self.space.objectives),
+            "candidates": len(self.records),
+            "journal_hits": self.journal_hits,
+            "evaluated": self.evaluated,
+            "frontier": list(self.frontier),
+            "records": [dict(record) for record in self.records],
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, default=str)
+
+    def save(self, path: str) -> str:
+        return write_json(path, self.to_dict())
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ExplorationReport":
+        return cls(space=SearchSpace.from_dict(data["space"]),
+                   records=tuple(data["records"]),
+                   frontier=tuple(data["frontier"]),
+                   journal_hits=data.get("journal_hits", 0),
+                   evaluated=data.get("evaluated", 0))
+
+
+# ----------------------------------------------------------------------
+def _candidate_rows(report: ExplorationReport,
+                    indices: list[int]) -> list[list[str]]:
+    frontier = set(report.frontier)
+    rows = []
+    for index in indices:
+        record = report.records[index]
+        config = record["config"]
+        metrics = record["metrics"]
+        rows.append([
+            "*" if index in frontier else "",
+            str(index),
+            record["design"],
+            str(config["seed"]),
+            f"{metrics['accuracy'] * 100:.2f}",
+            f"{metrics['accuracy_loss'] * 100:.2f}",
+            f"{metrics['energy_nj']:.1f}",
+            f"{metrics['energy_per_mac_fj']:.1f}",
+            f"{metrics['area_um2']:.0f}",
+            f"{metrics['latency_us']:.1f}",
+        ])
+    return rows
+
+
+def format_exploration_report(report: ExplorationReport) -> str:
+    """Human-readable summary of one exploration run."""
+    space = report.space
+    sections = []
+    header = [
+        ["search space", space.name],
+        ["application", space.app],
+        ["strategy", space.strategy],
+        ["objectives", ", ".join(space.objectives)],
+        ["candidates", str(len(report.records))],
+        ["journal hits / evaluated",
+         f"{report.journal_hits} / {report.evaluated}"],
+        ["frontier size", str(len(report.frontier))],
+    ]
+    sections.append(format_table(["Field", "Value"], header,
+                                 title=f"Exploration - {space.name}"))
+
+    columns = ["", "#", "Design", "Seed", "Accuracy (%)", "Loss (%)",
+               "Energy (nJ)", "E/MAC (fJ)", "Area (um2)", "Latency (us)"]
+    sections.append(format_table(
+        columns, _candidate_rows(report, list(range(len(report.records)))),
+        title="Candidates (* = Pareto-optimal)"))
+    sections.append(format_table(
+        columns, _candidate_rows(report, list(report.frontier)),
+        title="Pareto frontier"))
+
+    best_rows = []
+    for objective in space.objectives:
+        best = report.best(objective)
+        value = best["metrics"][objective]
+        shown = f"{value * 100:.2f}%" if objective.startswith("accuracy") \
+            else f"{value:.2f}"
+        best_rows.append([objective, best["design"],
+                          str(best["config"]["seed"]), shown])
+    sections.append(format_table(
+        ["Objective", "Best design", "Seed", "Value"], best_rows,
+        title="Per-objective optima"))
+    return "\n\n".join(sections)

@@ -38,6 +38,7 @@ from repro.hardware.neuron import (
     NeuronCost,
     NeuronDesign,
     Stage,
+    clock_for_bits,
     make_neuron,
 )
 from repro.hardware.precompute import PrecomputeBank, csd_adder_count, csd_digits
@@ -61,7 +62,8 @@ __all__ = [
     "best_adder",
     "EngineReport", "LayerEnergy", "LayerWork", "NetworkTopology",
     "ProcessingEngine",
-    "CLOCK_GHZ", "ASMNeuron", "ConventionalNeuron", "NeuronConfig",
+    "CLOCK_GHZ", "clock_for_bits", "ASMNeuron", "ConventionalNeuron",
+    "NeuronConfig",
     "NeuronCost", "NeuronDesign", "Stage", "make_neuron",
     "PrecomputeBank", "csd_adder_count", "csd_digits",
     "format_table", "normalized_series",

@@ -18,7 +18,7 @@ from dataclasses import dataclass
 from math import ceil
 
 from repro.asm.alphabet import AlphabetSet
-from repro.hardware.neuron import CLOCK_GHZ, NeuronConfig, make_neuron
+from repro.hardware.neuron import NeuronConfig, clock_for_bits, make_neuron
 from repro.hardware.technology import IBM45, TechnologyModel
 
 __all__ = ["LayerWork", "NetworkTopology", "ProcessingEngine",
@@ -102,6 +102,17 @@ class EngineReport:
     energy_nj: float
     latency_us: float
     layers: tuple[LayerEnergy, ...]
+    #: silicon area of one CSHM cluster sized for the costliest layer
+    #: design (a mixed deployment reconfigures one engine, so its area is
+    #: the largest per-layer datapath, not the sum)
+    area_um2: float = 0.0
+
+    @property
+    def energy_per_mac_fj(self) -> float:
+        """Average datapath energy per MAC operation."""
+        if not self.total_macs:
+            return 0.0
+        return self.energy_nj * 1e6 / self.total_macs
 
     def layer_cycle_fraction(self, last_n: int) -> float:
         """Fraction of cycles spent in the last *last_n* layers.
@@ -136,7 +147,8 @@ class ProcessingEngine:
         self.bits = bits
         self.tech = tech
         self.config = config or NeuronConfig()
-        self.clock_ghz = clock_ghz if clock_ghz is not None else CLOCK_GHZ[bits]
+        self.clock_ghz = clock_ghz if clock_ghz is not None \
+            else clock_for_bits(bits)
         self.alphabet_set = alphabet_set
         self.units = self.config.share_units
         self._design_cache: dict[object, object] = {}
@@ -179,9 +191,14 @@ class ProcessingEngine:
         layers = []
         total_cycles = 0
         total_energy_fj = 0.0
+        cluster_area_um2 = 0.0
         for layer, aset in zip(topology.layers, layer_alphabets):
             design = self._design(aset)
             cost = design.cost()
+            # per-unit cost already amortises the shared bank/bus over the
+            # cluster, so the cluster occupies units * per-unit area
+            cluster_area_um2 = max(cluster_area_um2,
+                                   cost.area_um2 * self.units)
             cycles = self.layer_cycles(layer)
             # every MAC costs the datapath energy; the idle lanes of a
             # ragged final group still clock their registers, which the
@@ -209,4 +226,5 @@ class ProcessingEngine:
             energy_nj=total_energy_fj * 1e-6,
             latency_us=total_cycles / (self.clock_ghz * 1e3),
             layers=tuple(layers),
+            area_um2=cluster_area_um2,
         )

@@ -52,10 +52,24 @@ __all__ = [
     "ASMNeuron",
     "make_neuron",
     "CLOCK_GHZ",
+    "clock_for_bits",
 ]
 
 #: Paper Table V: clock frequency under iso-speed comparison, per bit width.
 CLOCK_GHZ = {8: 3.0, 12: 2.5}
+
+
+def clock_for_bits(bits: int) -> float:
+    """Iso-speed clock for *bits*-wide neurons.
+
+    The paper pins 8-bit designs at 3 GHz and 12-bit at 2.5 GHz; other
+    widths (the design-space explorer sweeps them) borrow the clock of
+    the nearest published width, ties resolving to the narrower one.
+    """
+    if bits in CLOCK_GHZ:
+        return CLOCK_GHZ[bits]
+    nearest = min(CLOCK_GHZ, key=lambda known: (abs(known - bits), known))
+    return CLOCK_GHZ[nearest]
 
 
 @dataclass(frozen=True)
@@ -129,13 +143,10 @@ class NeuronDesign:
     def __init__(self, tech: TechnologyModel, bits: int,
                  clock_ghz: float | None = None,
                  config: NeuronConfig | None = None) -> None:
-        if bits not in CLOCK_GHZ and clock_ghz is None:
-            raise ValueError(
-                f"no default clock for {bits}-bit neurons; pass clock_ghz"
-            )
         self.tech = tech
         self.bits = bits
-        self.clock_ghz = clock_ghz if clock_ghz is not None else CLOCK_GHZ[bits]
+        self.clock_ghz = clock_ghz if clock_ghz is not None \
+            else clock_for_bits(bits)
         self.config = config or NeuronConfig()
         self.period_ps = 1000.0 / self.clock_ghz
         self.stages: list[Stage] = []

@@ -25,6 +25,7 @@ from repro.pipeline.config import (
     PipelineConfigError,
     TrainSettings,
     budget,
+    is_plan_design,
     parse_design,
 )
 from repro.pipeline.pipeline import Pipeline, run_pipeline
@@ -46,6 +47,7 @@ from repro.pipeline.stages import (
 
 __all__ = [
     "PipelineConfig", "PipelineConfigError", "STAGE_NAMES", "parse_design",
+    "is_plan_design",
     "Budget", "QUICK", "FULL", "budget", "TrainSettings", "TRAIN_SETTINGS",
     "Pipeline", "run_pipeline",
     "PipelineReport", "format_report",

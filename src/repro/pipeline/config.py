@@ -17,6 +17,14 @@ Design tokens
 ``"mixed"``
     The paper's §VI.E per-layer plan ({1} early, {1,3}/{1,3,5,7} in the
     concluding layers) — available for the benchmarks Fig. 11 covers.
+``"mixed:C1-C2-..."``
+    A *custom* per-layer plan: one alphabet count per parameterised layer
+    (``0`` keeps that layer on the exact conventional multiplier, any
+    other count must have a standard set).  ``mixed:1-0`` deploys a MAN
+    in the first layer and leaves the second exact.  The count list
+    length is checked against the model at stage time; this is the
+    vocabulary the design-space explorer's sensitivity-guided search
+    emits.
 ``"ladder"``
     Algorithm 2's quality ladder: escalate through ``ladder`` counts until
     accuracy ``K >= J * quality``.
@@ -40,7 +48,7 @@ __all__ = [
     "Budget", "QUICK", "FULL", "budget",
     "TrainSettings", "TRAIN_SETTINGS",
     "PipelineConfigError", "PipelineConfig",
-    "STAGE_NAMES", "DESIGN_COUNTS", "parse_design",
+    "STAGE_NAMES", "DESIGN_COUNTS", "parse_design", "is_plan_design",
 ]
 
 
@@ -94,17 +102,20 @@ STAGE_NAMES = ("train", "quantize", "constrain", "evaluate", "energy",
 DESIGN_COUNTS = (1, 2, 4, 8)
 
 _ASM_RE = re.compile(r"^asm([0-9]+)$")
+_PLAN_RE = re.compile(r"^mixed:([0-9]+(?:-[0-9]+)*)$")
 
 
 class PipelineConfigError(ValueError):
     """Invalid pipeline configuration (bad value or unknown key)."""
 
 
-def parse_design(design: str) -> int | str | None:
+def parse_design(design: str) -> int | str | tuple[int, ...] | None:
     """Classify a design token.
 
     Returns ``None`` for ``"conventional"``, the alphabet count for
-    ``"asmN"``, or the token itself for ``"mixed"`` / ``"ladder"``.
+    ``"asmN"``, the token itself for ``"mixed"`` / ``"ladder"``, or the
+    per-layer count tuple for a custom ``"mixed:C1-C2-..."`` plan
+    (``0`` entries mean "leave this layer conventional").
     """
     if design == "conventional":
         return None
@@ -113,9 +124,29 @@ def parse_design(design: str) -> int | str | None:
     match = _ASM_RE.match(design)
     if match and int(match.group(1)) in DESIGN_COUNTS:
         return int(match.group(1))
+    match = _PLAN_RE.match(design)
+    if match:
+        counts = tuple(int(c) for c in match.group(1).split("-"))
+        for count in counts:
+            if count != 0 and count not in DESIGN_COUNTS:
+                raise PipelineConfigError(
+                    f"design {design!r}: layer count {count} has no "
+                    f"standard alphabet set (choose from {DESIGN_COUNTS}, "
+                    f"or 0 for a conventional layer)")
+        if not any(counts):
+            raise PipelineConfigError(
+                f"design {design!r} constrains no layer; use "
+                f"'conventional' instead")
+        return counts
     raise PipelineConfigError(
         f"unknown design {design!r}; expected 'conventional', "
-        f"'asmN' (N in {DESIGN_COUNTS}), 'mixed' or 'ladder'")
+        f"'asmN' (N in {DESIGN_COUNTS}), 'mixed', 'mixed:C1-C2-...' "
+        f"or 'ladder'")
+
+
+def is_plan_design(kind) -> bool:
+    """True when :func:`parse_design` returned a per-layer plan kind."""
+    return kind == "mixed" or isinstance(kind, tuple)
 
 
 @dataclass(frozen=True)
@@ -292,26 +323,10 @@ class PipelineConfig:
     @classmethod
     def load(cls, path: str) -> "PipelineConfig":
         """Load a ``.json`` or ``.toml`` config file."""
-        ext = os.path.splitext(path)[1].lower()
-        if ext == ".toml":
-            try:
-                import tomllib
-            except ImportError:  # pragma: no cover - Python 3.10
-                raise PipelineConfigError(
-                    "TOML configs need Python 3.11+ (tomllib); "
-                    "use a JSON config instead") from None
-            with open(path, "rb") as handle:
-                try:
-                    data = tomllib.load(handle)
-                except tomllib.TOMLDecodeError as error:
-                    raise PipelineConfigError(
-                        f"config is not valid TOML: {error}")
-            return cls.from_dict(data)
-        if ext == ".json":
-            with open(path) as handle:
-                return cls.from_json(handle.read())
-        raise PipelineConfigError(
-            f"unsupported config extension {ext!r} (use .json or .toml)")
+        from repro.utils.serialization import load_mapping
+
+        return cls.from_dict(
+            load_mapping(path, PipelineConfigError, noun="config"))
 
     def save(self, path: str) -> str:
         """Write the config as JSON; :meth:`load` inverts it."""

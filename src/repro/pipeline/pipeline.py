@@ -5,14 +5,30 @@ prerequisites transitively), runs them in canonical order against one
 shared :class:`~repro.pipeline.stages.PipelineContext`, and returns a
 :class:`~repro.pipeline.report.PipelineReport`.
 
+Stage cache
+-----------
 When the config names a ``cache_dir`` (or one is passed explicitly),
 every completed stage persists its result JSON plus any weight states
-under ``<cache_dir>/<config-digest>-<plan-hash>/``; a re-run with the
-same config and stage plan resumes from the cache and is bit-identical
-to a cold run (weights round-trip through ``.npz`` exactly, floats
-round-trip through JSON exactly).  Editing the config — or overriding
-the stage list, which can change what a stage reports — invalidates the
-cache via the key.
+under ``<cache_dir>/<stage>-<depkey>/``, where ``depkey`` hashes *only
+the config fields that stage depends on* (plus, for ``evaluate``,
+whether ``quantize`` is in the plan — its losses depend on that).  Two
+consequences:
+
+* a re-run with the same config resumes from the cache and is
+  bit-identical to a cold run (weights round-trip through ``.npz``
+  exactly, floats round-trip through JSON exactly);
+* *different* configs share entries for the stages on which they agree —
+  a design-space exploration sweeping ``designs`` trains once per
+  (app, bits, budget, seed) and only re-runs constrain/evaluate/energy.
+
+All cache writes go through a temp file plus an atomic ``os.replace``,
+and a concurrent worker having already produced an entry is harmless
+(the deterministic stages produce identical bytes), so many processes —
+the :mod:`repro.explore` worker pool in particular — can share one
+``cache_dir`` without corruption.
+
+Each completed cached run also drops a small marker under
+``<cache_dir>/runs/`` so ``repro list`` can enumerate what has been run.
 """
 
 from __future__ import annotations
@@ -33,11 +49,11 @@ from repro.pipeline.stages import (
     result_from_payload,
     save_state,
 )
-from repro.utils.serialization import to_jsonable
+from repro.utils.serialization import atomic_write_json, to_jsonable
 
-__all__ = ["Pipeline", "run_pipeline"]
+__all__ = ["Pipeline", "run_pipeline", "list_cached_runs"]
 
-_CACHE_FORMAT = 1
+_CACHE_FORMAT = 2
 
 
 class Pipeline:
@@ -49,19 +65,6 @@ class Pipeline:
         #: cache root (``None`` disables caching)
         self.cache_root = (cache_dir if cache_dir is not None
                            else config.cache_dir)
-        #: per-run cache directory, set by :meth:`run` once the stage
-        #: plan is resolved (stage results can depend on which other
-        #: stages run — e.g. ``evaluate`` reports losses only when
-        #: ``quantize`` is in the plan — so the plan is part of the key)
-        self.cache_path: str | None = None
-
-    def _resolve_cache_path(self, plan: tuple[str, ...]) -> None:
-        if self.cache_root is None:
-            self.cache_path = None
-            return
-        plan_tag = hashlib.sha256("+".join(plan).encode()).hexdigest()[:8]
-        self.cache_path = os.path.join(
-            self.cache_root, f"{self.config.digest()[:16]}-{plan_tag}")
 
     # ------------------------------------------------------------------
     # stage planning
@@ -120,44 +123,106 @@ class Pipeline:
         return tuple(s for s in STAGE_NAMES if s in needed)
 
     # ------------------------------------------------------------------
+    # cache keys: hash only what each stage's result depends on
+    # ------------------------------------------------------------------
+    def _stage_deps(self, stage: str, plan: tuple[str, ...]) -> dict:
+        """The config slice that determines *stage*'s result."""
+        cfg = self.config
+        tier = cfg.tier()
+        deps: dict = {
+            "app": cfg.app,
+            "bits": cfg.word_bits(),
+            "seed": cfg.seed,
+            "budget": {
+                "name": tier.name, "n_train": tier.n_train,
+                "n_test": tier.n_test, "max_epochs": tier.max_epochs,
+                "retrain_epochs": tier.retrain_epochs,
+            },
+        }
+        if stage in ("train", "quantize"):
+            return deps
+        # every later stage sees the constrained deployments
+        deps["constraint_mode"] = cfg.constraint_mode
+        deps["quality"] = cfg.quality
+        deps["ladder"] = list(cfg.ladder)
+        if stage == "constrain":
+            # conventional has no constrain outcome; its presence in the
+            # design list must not split the cache
+            deps["designs"] = [d for d in cfg.designs
+                               if d != "conventional"]
+            return deps
+        if stage in ("evaluate", "energy"):
+            deps["designs"] = list(cfg.designs)
+            if stage == "evaluate":
+                # losses are reported only when quantize ran (see
+                # stage_evaluate), so the plan subset is part of the key
+                deps["with_quantize"] = "quantize" in plan
+            return deps
+        if stage in ("export", "serve-check"):
+            deps["export_design"] = cfg.resolved_export_design()
+            deps["export_dir"] = cfg.export_dir
+            if stage == "serve-check":
+                deps["serve_name"] = cfg.serve_name or cfg.app
+            return deps
+        raise ValueError(f"unknown stage {stage!r}")
+
+    def stage_key(self, stage: str, plan: tuple[str, ...]) -> str:
+        """Content hash of everything *stage*'s result depends on."""
+        canon = json.dumps(
+            {"format": _CACHE_FORMAT, "stage": stage,
+             "deps": self._stage_deps(stage, plan)},
+            sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(canon.encode()).hexdigest()
+
+    def stage_cache_dir(self, stage: str,
+                        plan: tuple[str, ...]) -> str | None:
+        """Cache directory of *stage* (``None`` when caching is off)."""
+        if self.cache_root is None:
+            return None
+        return os.path.join(
+            self.cache_root,
+            f"{stage.replace('-', '_')}-{self.stage_key(stage, plan)[:16]}")
+
+    # ------------------------------------------------------------------
     # cache plumbing
     # ------------------------------------------------------------------
-    def _stage_json(self, stage: str) -> str:
-        return os.path.join(self.cache_path, f"{stage}.json")
+    @staticmethod
+    def _stage_json(stage_dir: str, stage: str) -> str:
+        return os.path.join(stage_dir, f"{stage}.json")
 
-    def _state_files(self, stage: str, ctx: PipelineContext,
+    def _state_files(self, stage: str, stage_dir: str, ctx: PipelineContext,
                      payload: dict | None = None) -> dict[str, str]:
         """``label -> npz path`` of the weight states *stage* persists."""
-        if self.cache_path is None:
-            return {}
         if stage == "train":
-            return {"train": os.path.join(self.cache_path, "train-state.npz")}
+            return {"train": os.path.join(stage_dir, "train-state.npz")}
         if stage == "constrain":
             if payload is not None:
                 designs = [o["design"] for o in payload["outcomes"]]
             else:
                 designs = [d for d in ctx.config.designs
                            if d != "conventional"]
-            return {design: os.path.join(self.cache_path,
-                                         f"constrain-{design}.npz")
+            return {design: os.path.join(
+                        stage_dir, f"state-{_design_tag(design)}.npz")
                     for design in designs}
         return {}
 
-    def _try_load_cached(self, stage: str, ctx: PipelineContext):
+    def _try_load_cached(self, stage: str, stage_dir: str | None, key: str,
+                         ctx: PipelineContext):
         """Load *stage* from the cache, or return ``None`` on any miss."""
-        if self.cache_path is None:
+        if stage_dir is None:
             return None
-        path = self._stage_json(stage)
+        path = self._stage_json(stage_dir, stage)
         try:
             with open(path) as handle:
                 envelope = json.load(handle)
         except (OSError, json.JSONDecodeError):
             return None
         if (envelope.get("format") != _CACHE_FORMAT
-                or envelope.get("config_digest") != self.config.digest()
+                or envelope.get("key") != key
                 or envelope.get("stage") != stage):
             return None
-        states = self._state_files(stage, ctx, payload=envelope["result"])
+        states = self._state_files(stage, stage_dir, ctx,
+                                   payload=envelope["result"])
         if not all(os.path.exists(p) for p in states.values()):
             return None
         result = result_from_payload(stage, envelope["result"])
@@ -176,12 +241,14 @@ class Pipeline:
                         outcome.chosen_alphabets)
         return result
 
-    def _write_cache(self, stage: str, ctx: PipelineContext,
-                     result) -> None:
-        if self.cache_path is None:
+    def _write_cache(self, stage: str, stage_dir: str | None, key: str,
+                     ctx: PipelineContext, result) -> None:
+        if stage_dir is None:
             return
-        os.makedirs(self.cache_path, exist_ok=True)
-        for label, path in self._state_files(stage, ctx).items():
+        os.makedirs(stage_dir, exist_ok=True)
+        # states first, envelope last: a reader that sees the envelope may
+        # still double-check the states, never the other way around
+        for label, path in self._state_files(stage, stage_dir, ctx).items():
             state = (ctx.train_state if label == "train"
                      else ctx.design_states.get(label))
             if state is None:  # design not retrained (shouldn't happen)
@@ -190,31 +257,56 @@ class Pipeline:
         envelope = {
             "format": _CACHE_FORMAT,
             "stage": stage,
-            "config_digest": self.config.digest(),
+            "key": key,
             "result": to_jsonable(result),
         }
-        with open(self._stage_json(stage), "w") as handle:
-            json.dump(envelope, handle, indent=2, default=str)
+        atomic_write_json(self._stage_json(stage_dir, stage), envelope)
+
+    def _write_run_marker(self, plan: tuple[str, ...]) -> None:
+        """Record this (config, plan) under ``<cache>/runs/`` for listing."""
+        runs_dir = os.path.join(self.cache_root, "runs")
+        os.makedirs(runs_dir, exist_ok=True)
+        cfg = self.config
+        plan_tag = hashlib.sha256("+".join(plan).encode()).hexdigest()[:8]
+        marker = {
+            "config_digest": cfg.digest(),
+            "app": cfg.app,
+            "bits": cfg.word_bits(),
+            "designs": list(cfg.designs),
+            "stages": list(plan),
+            "budget": cfg.tier().name,
+            "seed": cfg.seed,
+        }
+        atomic_write_json(
+            os.path.join(runs_dir,
+                         f"{cfg.digest()[:16]}-{plan_tag}.json"), marker)
 
     # ------------------------------------------------------------------
     def run(self, stages: tuple[str, ...] | None = None,
-            resume: bool = True, verbose: bool = False) -> PipelineReport:
+            resume: bool = True, verbose: bool = False,
+            context: PipelineContext | None = None) -> PipelineReport:
         """Execute the (resolved) stages; returns the report.
 
         ``resume=False`` ignores existing cache entries (they are still
-        rewritten afterwards when caching is enabled).
+        rewritten afterwards when caching is enabled).  Passing a
+        *context* exposes the run's mutable state (trained model, weight
+        states) to the caller — the sensitivity-guided explorer uses this
+        to probe the trained network.
         """
-        ctx = PipelineContext(self.config)
+        ctx = context if context is not None \
+            else PipelineContext(self.config)
         plan = self.plan(stages)
-        self._resolve_cache_path(plan)
         cached: list[str] = []
         for stage in plan:
-            result = self._try_load_cached(stage, ctx) if resume else None
+            key = self.stage_key(stage, plan)
+            stage_dir = self.stage_cache_dir(stage, plan)
+            result = self._try_load_cached(stage, stage_dir, key, ctx) \
+                if resume else None
             if result is not None:
                 cached.append(stage)
                 if verbose:
                     print(f"[{stage}] cached "
-                          f"({os.path.relpath(self._stage_json(stage))})")
+                          f"({os.path.relpath(self._stage_json(stage_dir, stage))})")
             else:
                 if verbose:
                     print(f"[{stage}] running ...")
@@ -223,12 +315,47 @@ class Pipeline:
                 except StageError as error:
                     raise StageError(
                         f"stage {stage!r} failed: {error}") from error
-                self._write_cache(stage, ctx, result)
+                self._write_cache(stage, stage_dir, key, ctx, result)
             ctx.results[stage] = result
+        if self.cache_root is not None:
+            self._write_run_marker(plan)
         report_kwargs = {STAGE_ATTRS[name]: result
                          for name, result in ctx.results.items()}
         return PipelineReport(config=self.config, stages_run=plan,
                               cached_stages=tuple(cached), **report_kwargs)
+
+
+def _design_tag(design: str) -> str:
+    """Filesystem-safe tag for a design token (``mixed:1-0`` -> hash)."""
+    if ":" not in design:
+        return design
+    return "plan-" + hashlib.sha256(design.encode()).hexdigest()[:12]
+
+
+def list_cached_runs(cache_dir: str) -> list[dict]:
+    """Markers of completed cached runs under *cache_dir*, sorted.
+
+    Each entry is the marker dict written by :meth:`Pipeline.run`
+    (app, designs, stages, budget, seed, config_digest).  Unreadable
+    markers are skipped.
+    """
+    runs_dir = os.path.join(cache_dir, "runs")
+    markers = []
+    try:
+        names = sorted(os.listdir(runs_dir))
+    except OSError:
+        return []
+    for name in names:
+        if not name.endswith(".json"):
+            continue
+        try:
+            with open(os.path.join(runs_dir, name)) as handle:
+                markers.append(json.load(handle))
+        except (OSError, json.JSONDecodeError):
+            continue
+    markers.sort(key=lambda m: (m.get("app", ""), m.get("seed", 0),
+                                m.get("config_digest", "")))
+    return markers
 
 
 def run_pipeline(config: PipelineConfig | dict | str | os.PathLike,

@@ -143,9 +143,12 @@ def format_report(report: PipelineReport) -> str:
         rows = []
         for row in report.energy.rows:
             rows.append([row.design, row.label,
-                         f"{row.energy_nj:.1f}", f"{row.normalized:.3f}"])
+                         f"{row.energy_nj:.1f}", f"{row.normalized:.3f}",
+                         f"{row.energy_per_mac_fj:.1f}",
+                         f"{row.area_um2:.0f}", f"{row.latency_us:.1f}"])
         sections.append(format_table(
-            ["Design", "Deployment", "Energy (nJ)", "normalized"], rows,
+            ["Design", "Deployment", "Energy (nJ)", "normalized",
+             "E/MAC (fJ)", "Area (um2)", "Latency (us)"], rows,
             title="Stage: energy (CSHM engine, per inference)"))
     if report.export is not None:
         sections.append(format_table(

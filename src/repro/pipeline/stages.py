@@ -27,7 +27,8 @@ from repro.hardware.engine import ProcessingEngine
 from repro.nn.optim import SGD
 from repro.nn.quantized import QuantizationSpec, QuantizedNetwork
 from repro.nn.trainer import Trainer
-from repro.pipeline.config import PipelineConfig, parse_design
+from repro.pipeline.config import PipelineConfig, is_plan_design, \
+    parse_design
 from repro.training.constrained import ConstraintProjector, constrained_trainer
 from repro.training.methodology import DesignMethodology
 from repro.training.mixed import paper_mixed_plan
@@ -122,6 +123,9 @@ class EnergyDesignRow:
     energy_nj: float
     cycles: int
     normalized: float           # vs the conventional design
+    energy_per_mac_fj: float = 0.0
+    area_um2: float = 0.0       # CSHM cluster area (iso-speed sized)
+    latency_us: float = 0.0     # one inference pass at the design clock
 
 
 @dataclass(frozen=True)
@@ -212,8 +216,9 @@ class PipelineContext:
         kind = parse_design(design)
         if kind is None:
             return None
-        if kind == "mixed":
-            raise StageError("'mixed' has a per-layer plan, not one set")
+        if is_plan_design(kind):
+            raise StageError(
+                f"{design!r} has a per-layer plan, not one set")
         if kind == "ladder":
             if design not in self.chosen_sets:
                 raise StageError(
@@ -227,6 +232,14 @@ class PipelineContext:
         kind = parse_design(design)
         if kind == "mixed":
             return list(paper_mixed_plan(self.config.app, self.model))
+        if isinstance(kind, tuple):            # custom mixed:C1-C2-... plan
+            if len(kind) != n_layers:
+                raise StageError(
+                    f"design {design!r} gives {len(kind)} layer counts but "
+                    f"{self.config.app!r} has {n_layers} parameterised "
+                    f"layers")
+            return [None if count == 0 else standard_set(count)
+                    for count in kind]
         return [self.design_set(design)] * n_layers
 
     def require_design_state(self, design: str) -> list:
@@ -245,7 +258,7 @@ class PipelineContext:
         model.load_state(self.require_design_state(design))
         bits = self.bits
         mode = self.config.constraint_mode
-        if parse_design(design) == "mixed":
+        if is_plan_design(parse_design(design)):
             layer_specs = [
                 QuantizationSpec(bits) if aset is None else
                 QuantizationSpec.constrained(bits, aset, mode=mode)
@@ -310,7 +323,7 @@ def stage_constrain(ctx: PipelineContext) -> ConstrainResult:
         if kind == "ladder":
             outcomes.append(_constrain_ladder(ctx, design))
             continue
-        if kind == "mixed":
+        if is_plan_design(kind):
             plan = ctx.design_plan(design)
             projector = ConstraintProjector(
                 model, ctx.bits, layer_plan=plan,
@@ -380,9 +393,10 @@ def stage_evaluate(ctx: PipelineContext) -> EvaluateResult:
                                       accuracy=baseline, loss=0.0))
             continue
         quantized = ctx.design_quantized(design)
-        if kind == "mixed":
+        if is_plan_design(kind):
             label = "mixed(" + ",".join(
-                str(a) for a in ctx.design_plan(design)) + ")"
+                "exact" if a is None else str(a)
+                for a in ctx.design_plan(design)) + ")"
         else:
             aset = ctx.design_set(design)
             label = f"{len(aset)} {aset}"
@@ -411,7 +425,9 @@ def stage_energy(ctx: PipelineContext) -> EnergyResult:
         rows.append(EnergyDesignRow(
             design=design, label=report.design_label,
             energy_nj=report.energy_nj, cycles=report.cycles,
-            normalized=report.energy_nj / conventional.energy_nj))
+            normalized=report.energy_nj / conventional.energy_nj,
+            energy_per_mac_fj=report.energy_per_mac_fj,
+            area_um2=report.area_um2, latency_us=report.latency_us))
     return EnergyResult(rows=tuple(rows))
 
 
@@ -419,8 +435,9 @@ def stage_export(ctx: PipelineContext) -> ExportResult:
     """Persist the export design as a serving artifact bundle."""
     design = ctx.config.resolved_export_design()
     quantized = ctx.design_quantized(design)
+    # ':' in custom plan tokens is not a portable path character
     path = os.path.join(ctx.config.export_dir,
-                        f"{ctx.config.app}-{design}")
+                        f"{ctx.config.app}-{design.replace(':', '_')}")
     quantized.export(path)
     artifact_bytes = sum(
         os.path.getsize(os.path.join(path, item))
@@ -494,12 +511,20 @@ def result_from_payload(stage: str, payload: dict):
 
 
 def save_state(path: str, state: list) -> None:
-    """Persist a ``Sequential.state()`` weight snapshot as ``.npz``."""
+    """Persist a ``Sequential.state()`` weight snapshot as ``.npz``.
+
+    Atomic (temp file + rename): concurrent pipeline workers may race to
+    produce the same cache entry, and since the stages are deterministic
+    both writers produce identical bytes — last rename wins, readers
+    never see a partial file.
+    """
+    tmp = f"{path}.{os.getpid()}.tmp.npz"
     arrays = {}
     for index, layer_state in enumerate(state):
         for key, value in layer_state.items():
             arrays[f"{index}:{key}"] = value
-    np.savez(path, **arrays)
+    np.savez(tmp, **arrays)
+    os.replace(tmp, path)
 
 
 def load_state(path: str, model) -> list:

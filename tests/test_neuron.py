@@ -13,6 +13,7 @@ from repro.hardware.neuron import (
     ASMNeuron,
     ConventionalNeuron,
     NeuronConfig,
+    clock_for_bits,
     make_neuron,
 )
 from repro.hardware.technology import IBM45
@@ -47,9 +48,13 @@ class TestFactory:
         assert make_neuron(8).clock_ghz == CLOCK_GHZ[8] == 3.0
         assert make_neuron(12).clock_ghz == CLOCK_GHZ[12] == 2.5
 
-    def test_unusual_width_needs_clock(self):
-        with pytest.raises(ValueError):
-            make_neuron(16)
+    def test_unusual_width_borrows_nearest_clock(self):
+        # widths off Table V borrow the nearest published clock (the
+        # design-space explorer sweeps arbitrary word widths)
+        assert clock_for_bits(16) == CLOCK_GHZ[12]
+        assert clock_for_bits(6) == CLOCK_GHZ[8]
+        assert clock_for_bits(10) == CLOCK_GHZ[8]  # tie -> narrower
+        assert make_neuron(16).clock_ghz == CLOCK_GHZ[12]
         assert make_neuron(16, clock_ghz=2.0).clock_ghz == 2.0
 
 
