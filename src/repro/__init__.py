@@ -19,6 +19,11 @@ Subpackages
     The declarative train → quantize → constrain → evaluate → energy →
     export → serve-check flow: ``PipelineConfig``, staged ``Pipeline``
     with caching/resume, ``PipelineReport``.
+``repro.kernels``
+    The compute-kernel layer under every forward path: dense / conv
+    (im2col) / scaled-avg-pool / requantise kernels, each with a
+    bit-exact ``reference`` implementation and a BLAS-lowered ``fast``
+    one, behind ``get_backend("reference" | "fast" | "auto")``.
 ``repro.fixedpoint``
     Two's-complement words, Q-format quantisation, quartet layouts.
 ``repro.asm``
@@ -51,15 +56,16 @@ Subpackages
     Shared utilities (JSON serialization of result objects).
 """
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = ["__version__", "PipelineConfig", "Pipeline", "PipelineReport",
            "run_pipeline", "SearchSpace", "ExplorationReport",
-           "run_exploration"]
+           "run_exploration", "get_backend"]
 
 _PIPELINE_EXPORTS = {"PipelineConfig", "Pipeline", "PipelineReport",
                      "run_pipeline"}
 _EXPLORE_EXPORTS = {"SearchSpace", "ExplorationReport", "run_exploration"}
+_KERNEL_EXPORTS = {"get_backend"}
 
 
 def __getattr__(name: str):
@@ -70,4 +76,7 @@ def __getattr__(name: str):
     if name in _EXPLORE_EXPORTS:
         from repro import explore
         return getattr(explore, name)
+    if name in _KERNEL_EXPORTS:
+        from repro import kernels
+        return getattr(kernels, name)
     raise AttributeError(f"module 'repro' has no attribute {name!r}")

@@ -35,21 +35,30 @@ class LayerSensitivity:
 def layer_sensitivity(network: Sequential, x_test: np.ndarray,
                       labels: np.ndarray, bits: int,
                       alphabet_set: AlphabetSet,
-                      constrain: bool = True) -> list[LayerSensitivity]:
+                      constrain: bool = True,
+                      backend: str = "reference",
+                      eval_batch_size: int | None = None,
+                      ) -> list[LayerSensitivity]:
     """Approximate each parameterised layer alone; report accuracy drops.
 
     ``constrain=True`` snaps the layer's weights with Algorithm 1 (the
     deployment the paper retrains for, minus the retraining);
     ``constrain=False`` uses the hardware ``nearest`` fallback instead.
     Either way the *other* layers run with the exact conventional engine,
-    isolating each layer's contribution.
+    isolating each layer's contribution.  ``backend`` selects the compute
+    kernels for the probe passes (bit-identical across backends; the
+    sensitivity-guided explorer passes ``fast``).
     """
+    from repro.kernels import DEFAULT_EVAL_BATCH
+
+    batch = eval_batch_size or DEFAULT_EVAL_BATCH
     param_layers = [(index, layer) for index, layer
                     in enumerate(network.layers)
                     if weight_param_name(layer) is not None]
     baseline_spec = QuantizationSpec(bits)
     baseline = QuantizedNetwork.from_float(
-        network, baseline_spec).accuracy(x_test, labels)
+        network, baseline_spec, backend=backend).accuracy(
+            x_test, labels, batch_size=batch)
 
     if constrain:
         approx_spec = QuantizationSpec(
@@ -64,8 +73,9 @@ def layer_sensitivity(network: Sequential, x_test: np.ndarray,
         layer_specs = [baseline_spec] * len(param_layers)
         layer_specs[position] = approx_spec
         quantized = QuantizedNetwork.from_float(
-            network, baseline_spec, layer_specs=layer_specs)
-        accuracy = quantized.accuracy(x_test, labels)
+            network, baseline_spec, layer_specs=layer_specs,
+            backend=backend)
+        accuracy = quantized.accuracy(x_test, labels, batch_size=batch)
         results.append(LayerSensitivity(
             layer_index=index,
             layer_name=layer.name,

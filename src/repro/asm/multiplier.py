@@ -37,9 +37,14 @@ from repro.asm.decompose import UnsupportedQuartetError, decompose_quartet
 from repro.fixedpoint.binary import signed_range
 from repro.fixedpoint.quartet import QuartetLayout
 
-__all__ = ["ConventionalMultiplier", "AlphabetSetMultiplier", "FALLBACK_POLICIES"]
+__all__ = ["ConventionalMultiplier", "AlphabetSetMultiplier",
+           "FALLBACK_POLICIES", "UNSUPPORTED_WEIGHT",
+           "effective_weight_table"]
 
 FALLBACK_POLICIES = ("error", "nearest", "truncate")
+
+#: Table entry marking a weight the ``"error"`` policy rejects.
+UNSUPPORTED_WEIGHT = np.iinfo(np.int64).min
 
 
 @lru_cache(maxsize=None)
@@ -81,6 +86,27 @@ def _effective_weight_table(bits: int, alphabet_set: AlphabetSet,
             table[weight + offset] = AlphabetSetMultiplier._UNSUPPORTED
     table.setflags(write=False)
     return table
+
+
+def effective_weight_table(bits: int, alphabet_set: AlphabetSet,
+                           fallback: str = "error") -> np.ndarray:
+    """The memoized signed effective-weight lookup table, directly.
+
+    The function every folding path should use: it hits the process-wide
+    cache without constructing an :class:`AlphabetSetMultiplier` per call
+    — :meth:`QuantizationSpec.quantize_weights
+    <repro.nn.quantized.QuantizationSpec.quantize_weights>` folds the
+    deployed weights of every layer in every constrained sweep through
+    it.  Index ``w + 2**(bits-1)`` → effective weight; under the
+    ``"error"`` policy, unsupported weights hold the sentinel
+    :data:`UNSUPPORTED_WEIGHT`.  Returned read-only; copy before
+    mutating.
+    """
+    if fallback not in FALLBACK_POLICIES:
+        raise ValueError(
+            f"unknown fallback {fallback!r}; choose from {FALLBACK_POLICIES}"
+        )
+    return _effective_weight_table(bits, alphabet_set, fallback)
 
 
 class ConventionalMultiplier:
@@ -206,7 +232,7 @@ class AlphabetSetMultiplier:
         return sign * self.effective_magnitude(magnitude)
 
     #: Table entry marking a weight the ``"error"`` policy rejects.
-    _UNSUPPORTED = np.iinfo(np.int64).min
+    _UNSUPPORTED = UNSUPPORTED_WEIGHT
 
     def effective_weight_table(self) -> np.ndarray:
         """Signed lookup table: index ``w + 2**(bits-1)`` → effective weight.

@@ -68,6 +68,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 config = config.with_overrides(budget="full")
             if args.cache_dir is not None:
                 config = config.with_overrides(cache_dir=args.cache_dir)
+            if args.backend is not None:
+                config = config.with_overrides(backend=args.backend)
             if seeds is not None:
                 configs.extend(config.with_overrides(seed=seed)
                                for seed in seeds)
@@ -125,6 +127,9 @@ def _cmd_explore(args: argparse.Namespace) -> int:
 
     try:
         space = SearchSpace.load(args.space)
+        if args.backend is not None:
+            from dataclasses import replace
+            space = replace(space, backend=args.backend)
         journal_dir = args.journal if args.journal is not None else \
             os.path.join(DEFAULT_EXPLORE_DIR, space.name)
         report = run_exploration(space, journal_dir,
@@ -221,6 +226,10 @@ def build_parser() -> argparse.ArgumentParser:
                           f"(choose from {','.join(STAGE_NAMES)})")
     run.add_argument("--cache-dir", default=None,
                      help="stage cache root (overrides config.cache_dir)")
+    run.add_argument("--backend", default=None,
+                     choices=("reference", "fast", "auto"),
+                     help="compute-kernel backend for evaluation "
+                          "(bit-identical; overrides config.backend)")
     run.add_argument("--no-resume", action="store_true",
                      help="ignore cached stage results")
     run.add_argument("--full", action="store_true",
@@ -265,6 +274,11 @@ def build_parser() -> argparse.ArgumentParser:
     explore.add_argument("--cache-dir", default=None,
                          help="pipeline stage cache shared by the workers "
                               "(default: <journal>/cache)")
+    explore.add_argument("--backend", default=None,
+                         choices=("reference", "fast", "auto"),
+                         help="compute-kernel backend for candidate "
+                              "evaluation (bit-identical; overrides "
+                              "space.backend)")
     explore.add_argument("--no-resume", action="store_true",
                          help="ignore the journal and stage cache")
     explore.add_argument("--register", action="store_true",

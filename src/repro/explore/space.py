@@ -64,6 +64,9 @@ class SearchSpace:
     sensitivity_counts: tuple[int, ...] = (1,)
     objectives: tuple[str, ...] = ("accuracy", "energy_per_mac_fj",
                                    "area_um2", "latency_us")
+    #: kernel backend every candidate evaluates on (bit-identical across
+    #: backends — "auto" runs sweeps on the fast BLAS path)
+    backend: str = "auto"
 
     # ------------------------------------------------------------------
     def __post_init__(self) -> None:
@@ -131,7 +134,8 @@ class SearchSpace:
         return PipelineConfig(
             app=self.app, bits=bits, designs=(design,), stages=EVAL_STAGES,
             budget=budget, seed=seed, quality=quality,
-            constraint_mode=constraint_mode, cache_dir=cache_dir)
+            constraint_mode=constraint_mode, cache_dir=cache_dir,
+            backend=self.backend)
 
     def grid(self, cache_dir: str | None = None) -> tuple[PipelineConfig, ...]:
         """The full cartesian grid, canonicalised and deduplicated.
@@ -207,6 +211,7 @@ class SearchSpace:
             "max_candidates": self.max_candidates,
             "sensitivity_counts": list(self.sensitivity_counts),
             "objectives": list(self.objectives),
+            "backend": self.backend,
         }
 
     @classmethod

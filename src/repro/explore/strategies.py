@@ -79,7 +79,8 @@ def sensitivity_order(space: SearchSpace, base: PipelineConfig,
     _, x_test = ctx.arrays()
     probe_set = standard_set(min(space.sensitivity_counts))
     drops = layer_sensitivity(ctx.model, x_test, ctx.dataset.y_test,
-                              ctx.bits, probe_set)
+                              ctx.bits, probe_set, backend=base.backend,
+                              eval_batch_size=base.eval_batch_size)
     return sorted(range(len(drops)),
                   key=lambda i: (drops[i].drop, i))
 

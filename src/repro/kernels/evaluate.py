@@ -1,0 +1,42 @@
+"""Shared batched-evaluation helpers.
+
+One home for the batched-accuracy loop that used to be copied across
+``Sequential.accuracy``, ``QuantizedNetwork.accuracy`` and
+``CompiledModel.accuracy``.  Batching exists purely to bound peak memory
+(im2col buffers, activation matrices); predictions are per-sample
+independent, so the result is bit-identical for every batch size — which
+is also why ``eval_batch_size`` is deliberately *not* part of the
+pipeline's stage cache keys.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+import numpy as np
+
+__all__ = ["DEFAULT_EVAL_BATCH", "batched_accuracy"]
+
+#: Default evaluation batch size (overridable via
+#: ``PipelineConfig.eval_batch_size`` and the ``batch_size`` arguments).
+DEFAULT_EVAL_BATCH = 512
+
+
+def batched_accuracy(predict: Callable[[np.ndarray], np.ndarray],
+                     x: np.ndarray, labels: np.ndarray,
+                     batch_size: int = DEFAULT_EVAL_BATCH) -> float:
+    """Classification accuracy of *predict* over ``(x, integer labels)``.
+
+    *predict* maps an input batch to integer class indices.  Inputs are
+    fed in chunks of *batch_size* so large test sets do not blow up
+    memory; the returned accuracy is independent of *batch_size*.
+    """
+    if len(x) != len(labels):
+        raise ValueError("inputs and labels differ in length")
+    if batch_size < 1:
+        raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+    correct = 0
+    for start in range(0, len(x), batch_size):
+        stop = start + batch_size
+        correct += int(np.sum(predict(x[start:stop]) == labels[start:stop]))
+    return correct / len(x) if len(x) else 0.0

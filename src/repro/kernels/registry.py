@@ -1,0 +1,106 @@
+"""The kernel-backend registry.
+
+A :class:`KernelBackend` bundles one implementation of every forward
+kernel the quantised engine needs — input quantisation, dense, conv
+(im2col), scaled-average pool and requantisation.  Two are built in:
+
+``"reference"``
+    Exact integer arithmetic: int64 accumulation, the bit-accurate
+    software twin of the paper's Verilog processing engine.  This is the
+    ground truth every other backend is measured against.
+``"fast"``
+    The BLAS lowering: activation codes and folded weights are carried as
+    float64 integers and the accumulation runs through ``dgemm``, which is
+    *bit-exact* whenever the layer's accumulator bound stays below
+    ``2**53`` (see :mod:`repro.kernels.fast`).  Layers that fail the bound
+    fall back to the reference kernels per layer, so the backend as a
+    whole is always bit-identical to ``reference``.
+``"auto"``
+    The selection policy, not a third implementation: resolve to the
+    fastest backend that preserves bit-exactness — today, ``fast``.
+
+Backends are stateless singletons; per-layer precomputations (folded
+float weight matrices, exactness decisions) are cached on the layer
+objects themselves, so two networks sharing layers share the caches.
+
+This module must stay import-light (no ``repro.nn`` / ``repro.asm``
+imports): the layer stack in :mod:`repro.nn.quantized` imports it at
+module level.
+"""
+
+from __future__ import annotations
+
+__all__ = ["KernelBackend", "KernelBackendError", "BACKEND_NAMES",
+           "register_backend", "get_backend"]
+
+#: Names :func:`get_backend` accepts (``auto`` is the selection policy).
+BACKEND_NAMES = ("reference", "fast", "auto")
+
+
+class KernelBackendError(ValueError):
+    """Unknown backend name or duplicate registration."""
+
+
+class KernelBackend:
+    """Interface of one compute-kernel implementation.
+
+    The ``layer`` arguments are the quantised layer objects of
+    :mod:`repro.nn.quantized` (``_QuantDense`` / ``_QuantConv`` /
+    ``_QuantPool``); backends read their folded integer arrays, formats,
+    activation and LUT but never mutate them (beyond attaching caches).
+    Every kernel returns ``(codes, fmt)`` exactly like the layer
+    ``forward`` contract: activation codes in the activation format, or
+    ``(real_scores, None)`` for the output layer.
+    """
+
+    #: Registry name; also reported by :attr:`QuantizedNetwork.backend`.
+    name = "base"
+
+    def quantize_input(self, x, fmt):
+        """Float inputs → activation codes in the backend's carrier dtype."""
+        raise NotImplementedError
+
+    def dense(self, layer, x, x_fmt):
+        raise NotImplementedError
+
+    def conv(self, layer, x, x_fmt):
+        raise NotImplementedError
+
+    def pool(self, layer, x, x_fmt):
+        raise NotImplementedError
+
+    def lowering(self, layer) -> str:
+        """How this backend runs *layer*: ``"integer"`` or ``"blas"``."""
+        return "integer"
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<KernelBackend {self.name}>"
+
+
+_REGISTRY: dict[str, KernelBackend] = {}
+
+
+def register_backend(name: str, backend: KernelBackend,
+                     replace: bool = False) -> None:
+    """Register *backend* under *name* (``replace=True`` to override)."""
+    if name in _REGISTRY and not replace:
+        raise KernelBackendError(f"backend {name!r} is already registered")
+    _REGISTRY[name] = backend
+
+
+def get_backend(name: str | KernelBackend = "auto") -> KernelBackend:
+    """Resolve a backend name (or pass an instance through).
+
+    ``"auto"`` resolves to the fastest registered backend whose results
+    are guaranteed bit-identical to ``"reference"`` — currently
+    ``"fast"``, whose kernels fall back per layer wherever the float64
+    exactness bound fails.
+    """
+    if isinstance(name, KernelBackend):
+        return name
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KernelBackendError(
+            f"unknown kernel backend {name!r}; choose from "
+            f"{sorted(_REGISTRY)}") from None

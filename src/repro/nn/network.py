@@ -10,6 +10,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.hardware.engine import LayerWork, NetworkTopology
+from repro.kernels.evaluate import DEFAULT_EVAL_BATCH, batched_accuracy
 from repro.nn.layers import Conv2D, Dense, Flatten, Layer, ScaledAvgPool2D
 
 __all__ = ["Sequential"]
@@ -49,17 +50,11 @@ class Sequential:
         return np.argmax(self.forward(x, training=False), axis=1)
 
     def accuracy(self, x: np.ndarray, labels: np.ndarray,
-                 batch_size: int = 512) -> float:
+                 batch_size: int = DEFAULT_EVAL_BATCH) -> float:
         """Classification accuracy on ``(x, integer labels)``, batched so
         large test sets do not blow up memory."""
-        if len(x) != len(labels):
-            raise ValueError("inputs and labels differ in length")
-        correct = 0
-        for start in range(0, len(x), batch_size):
-            stop = start + batch_size
-            correct += int(np.sum(self.predict(x[start:stop])
-                                  == labels[start:stop]))
-        return correct / len(x) if len(x) else 0.0
+        return batched_accuracy(self.predict, x, labels,
+                                batch_size=batch_size)
 
     # ------------------------------------------------------------------
     # parameter management

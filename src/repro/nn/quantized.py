@@ -14,18 +14,33 @@ loses **nothing further** when deployed on the ASM engine; an unconstrained
 network deployed with a reduced alphabet set degrades according to the
 multiplier's fallback policy.  Both paths are exposed so the retraining
 ablation can measure the difference.
+
+The layer classes here hold the folded integer arrays and formats; the
+arithmetic itself lives in :mod:`repro.kernels`, where each forward kernel
+exists as a bit-exact ``reference`` implementation and a BLAS-lowered
+``fast`` one.  A :class:`QuantizedNetwork` selects a backend (default
+``reference``); the backends are bit-identical, so the choice only affects
+speed.
 """
 
 from __future__ import annotations
+
+import copy
 
 import numpy as np
 
 from repro.asm.alphabet import AlphabetSet
 from repro.asm.constraints import WeightConstrainer
-from repro.asm.multiplier import AlphabetSetMultiplier
+from repro.asm.multiplier import (
+    UNSUPPORTED_WEIGHT,
+    FALLBACK_POLICIES,
+    AlphabetSetMultiplier,
+    effective_weight_table,
+)
 from repro.fixedpoint.qformat import QFormat, qformat_for_range
+from repro.kernels import DEFAULT_EVAL_BATCH, batched_accuracy, get_backend
+from repro.kernels.registry import KernelBackend
 from repro.nn.activations import Activation, SigmoidLUT
-from repro.nn.conv_utils import conv_output_size, im2col
 from repro.nn.layers import Conv2D, Dense, Flatten, ScaledAvgPool2D
 from repro.nn.network import Sequential
 
@@ -54,6 +69,10 @@ class QuantizationSpec:
     def __init__(self, bits: int, alphabet_set: AlphabetSet | None = None,
                  constrainer: WeightConstrainer | None = None,
                  fallback: str = "error") -> None:
+        if fallback not in FALLBACK_POLICIES:
+            raise ValueError(
+                f"unknown fallback {fallback!r}; choose from "
+                f"{FALLBACK_POLICIES}")
         self.bits = bits
         self.alphabet_set = alphabet_set
         self.constrainer = constrainer
@@ -62,11 +81,19 @@ class QuantizationSpec:
             raise ValueError(
                 f"constrainer is {constrainer.bits}-bit, spec is {bits}-bit"
             )
-        if alphabet_set is not None:
-            self._multiplier = AlphabetSetMultiplier(
-                bits, alphabet_set, fallback=fallback)
-        else:
-            self._multiplier = None
+
+    @property
+    def multiplier(self) -> AlphabetSetMultiplier | None:
+        """The spec's ASM model (``None`` for conventional specs).
+
+        Constructed lazily: the weight-folding hot path only needs the
+        process-wide memoized effective-weight table, not a multiplier
+        object per spec — constrained sweeps build thousands of specs.
+        """
+        if self.alphabet_set is None:
+            return None
+        return AlphabetSetMultiplier(self.bits, self.alphabet_set,
+                                     fallback=self.fallback)
 
     @classmethod
     def constrained(cls, bits: int, alphabet_set: AlphabetSet,
@@ -86,23 +113,27 @@ class QuantizationSpec:
         """Float weights → (deployed integer weights, their Q-format).
 
         Pipeline: power-of-two scale → round to grid → optional Algorithm-1
-        constraining → ASM effective-weight remap.
+        constraining → ASM effective-weight remap.  The remap goes through
+        the process-wide memoized table
+        (:func:`repro.asm.multiplier.effective_weight_table`), so repeated
+        folds in constrained sweeps never rebuild it.
         """
         max_abs = float(np.max(np.abs(weights))) if weights.size else 1.0
         fmt = qformat_for_range(self.bits, max(max_abs, 1e-12))
         ints = fmt.quantize_array(weights)
         if self.constrainer is not None:
             ints = self.constrainer.constrain_array(ints)
-        if self._multiplier is not None:
-            table = self._multiplier.effective_weight_table()
-            ints = table[ints + (1 << (self.bits - 1))]
-            unsupported = ints == AlphabetSetMultiplier._UNSUPPORTED
+        if self.alphabet_set is not None:
+            table = effective_weight_table(self.bits, self.alphabet_set,
+                                           self.fallback)
+            deployed = table[ints + (1 << (self.bits - 1))]
+            unsupported = deployed == UNSUPPORTED_WEIGHT
             if unsupported.any():
                 from repro.asm.decompose import UnsupportedQuartetError
 
-                bad = int(fmt.quantize_array(weights)[unsupported].flat[0])
-                raise UnsupportedQuartetError(abs(bad),
-                                              self._multiplier.alphabet_set)
+                bad = int(ints[unsupported].flat[0])
+                raise UnsupportedQuartetError(abs(bad), self.alphabet_set)
+            ints = deployed
         return ints, fmt
 
     @property
@@ -123,9 +154,14 @@ class _QuantLayer:
     from the already-folded integer arrays (the
     :mod:`repro.serving.artifact` reload path).  Both construct the exact
     same object, so a reloaded network's forward pass is bit-identical.
+
+    Layers carry data only; ``forward`` dispatches to a
+    :class:`~repro.kernels.registry.KernelBackend` (the reference backend
+    unless the caller selects another).
     """
 
-    #: Serialisation tag used by :mod:`repro.serving.artifact`.
+    #: Serialisation tag used by :mod:`repro.serving.artifact`; also the
+    #: kernel-dispatch key.
     kind = "base"
 
     name: str | None = None
@@ -136,22 +172,10 @@ class _QuantLayer:
     #: costs energy from it.
     alphabets: tuple[int, ...] | None = None
 
-    def forward(self, x_int: np.ndarray, x_fmt: QFormat,
+    def forward(self, x: np.ndarray, x_fmt: QFormat,
+                backend: KernelBackend | None = None,
                 ) -> tuple[np.ndarray, QFormat]:
         raise NotImplementedError
-
-
-def _requantize(real_values: np.ndarray, activation: Activation | None,
-                act_fmt: QFormat,
-                lut: SigmoidLUT | None) -> np.ndarray:
-    """Apply the activation to real pre-activations and quantise."""
-    if lut is not None:
-        activated = lut(real_values)
-    elif activation is not None:
-        activated = activation.forward(real_values)
-    else:
-        activated = real_values
-    return act_fmt.quantize_array(activated)
 
 
 class _QuantDense(_QuantLayer):
@@ -181,14 +205,8 @@ class _QuantDense(_QuantLayer):
                            if spec.alphabet_set is not None else None)
         return quant
 
-    def forward(self, x_int: np.ndarray, x_fmt: QFormat):
-        acc = x_int @ self.w_int                       # exact integer MACs
-        scale = x_fmt.resolution * self.w_fmt.resolution
-        real = acc.astype(np.float64) * scale + self.bias
-        if self.is_output:
-            return real, None  # raw scores for argmax
-        return _requantize(real, self.activation, self.act_fmt,
-                           self.lut), self.act_fmt
+    def forward(self, x, x_fmt, backend=None):
+        return (backend or _REFERENCE).dense(self, x, x_fmt)
 
 
 class _QuantConv(_QuantLayer):
@@ -219,19 +237,8 @@ class _QuantConv(_QuantLayer):
                            if spec.alphabet_set is not None else None)
         return quant
 
-    def forward(self, x_int: np.ndarray, x_fmt: QFormat):
-        batch, _, height, width = x_int.shape
-        out_h = conv_output_size(height, self.kernel)
-        out_w = conv_output_size(width, self.kernel)
-        cols = im2col(x_int, self.kernel)
-        kernels = self.w_int.reshape(self.out_channels, -1)
-        acc = cols @ kernels.T                         # (b, p, oc), integer
-        scale = x_fmt.resolution * self.w_fmt.resolution
-        real = acc.astype(np.float64) * scale + self.bias
-        real = real.transpose(0, 2, 1).reshape(
-            batch, self.out_channels, out_h, out_w)
-        return _requantize(real, self.activation, self.act_fmt,
-                           self.lut), self.act_fmt
+    def forward(self, x, x_fmt, backend=None):
+        return (backend or _REFERENCE).conv(self, x, x_fmt)
 
 
 class _QuantPool(_QuantLayer):
@@ -263,17 +270,8 @@ class _QuantPool(_QuantLayer):
                            if spec.alphabet_set is not None else None)
         return quant
 
-    def forward(self, x_int: np.ndarray, x_fmt: QFormat):
-        batch, channels, height, width = x_int.shape
-        s = self.size
-        sums = x_int.reshape(batch, channels, height // s, s,
-                             width // s, s).sum(axis=(3, 5))
-        acc = sums * self.gain_int[:, None, None]      # integer multiply
-        scale = x_fmt.resolution * self.gain_fmt.resolution / (s * s)
-        real = acc.astype(np.float64) * scale \
-            + self.bias[:, None, None]
-        return _requantize(real, self.activation, self.act_fmt,
-                           self.lut), self.act_fmt
+    def forward(self, x, x_fmt, backend=None):
+        return (backend or _REFERENCE).pool(self, x, x_fmt)
 
 
 class _QuantFlatten(_QuantLayer):
@@ -282,8 +280,13 @@ class _QuantFlatten(_QuantLayer):
     def __init__(self, name: str | None = None) -> None:
         self.name = name
 
-    def forward(self, x_int: np.ndarray, x_fmt: QFormat):
-        return x_int.reshape(x_int.shape[0], -1), x_fmt
+    def forward(self, x, x_fmt, backend=None):
+        # pure reshape: backend-independent, dtype passes through
+        return x.reshape(x.shape[0], -1), x_fmt
+
+
+#: Default dispatch target when a layer is driven without a network.
+_REFERENCE = get_backend("reference")
 
 
 class QuantizedNetwork:
@@ -292,23 +295,30 @@ class QuantizedNetwork:
     Use :meth:`from_float`; inputs to :meth:`predict`/:meth:`accuracy` are
     the *float* arrays — they are quantised to the activation format on
     entry, exactly as the engine's input interface would.
+
+    ``backend`` selects the compute kernels (``"reference"`` / ``"fast"``
+    / ``"auto"`` — see :mod:`repro.kernels`); all backends produce
+    bit-identical outputs, so it is a speed knob, not a semantics knob.
     """
 
     def __init__(self, layers: list[_QuantLayer], act_fmt: QFormat,
                  spec: QuantizationSpec, name: str = "network",
                  input_spatial: tuple[int, int] | None = None,
-                 use_lut: bool = False) -> None:
+                 use_lut: bool = False,
+                 backend: str | KernelBackend = "reference") -> None:
         self.layers = layers
         self.act_fmt = act_fmt
         self.spec = spec
         self.name = name
         self.input_spatial = input_spatial
         self.use_lut = use_lut
+        self._backend = get_backend(backend)
 
     @classmethod
     def from_float(cls, network: Sequential, spec: QuantizationSpec,
                    use_lut: bool = False,
                    layer_specs: list[QuantizationSpec] | None = None,
+                   backend: str | KernelBackend = "reference",
                    ) -> "QuantizedNetwork":
         """Lower *network* under *spec*.
 
@@ -358,30 +368,41 @@ class QuantizedNetwork:
         if dense_like:
             dense_like[-1].is_output = True
         return cls(layers, act_fmt, spec, name=network.name,
-                   input_spatial=network.input_spatial, use_lut=use_lut)
+                   input_spatial=network.input_spatial, use_lut=use_lut,
+                   backend=backend)
+
+    # ------------------------------------------------------------------
+    # backend selection
+    # ------------------------------------------------------------------
+    @property
+    def backend(self) -> str:
+        """Name of the selected kernel backend."""
+        return self._backend.name
+
+    def with_backend(self, backend: str | KernelBackend,
+                     ) -> "QuantizedNetwork":
+        """A shallow copy (shared layers) running on *backend*."""
+        clone = copy.copy(self)
+        clone._backend = get_backend(backend)
+        return clone
 
     # ------------------------------------------------------------------
     def forward(self, x: np.ndarray) -> np.ndarray:
         """Raw output scores for a float input batch."""
-        x_int = self.act_fmt.quantize_array(x)
+        backend = self._backend
+        codes = backend.quantize_input(x, self.act_fmt)
         fmt = self.act_fmt
         for layer in self.layers:
-            x_int, fmt = layer.forward(x_int, fmt)
-        return x_int  # final dense returns real scores
+            codes, fmt = layer.forward(codes, fmt, backend)
+        return codes  # final dense returns real scores
 
     def predict(self, x: np.ndarray) -> np.ndarray:
         return np.argmax(self.forward(x), axis=1)
 
     def accuracy(self, x: np.ndarray, labels: np.ndarray,
-                 batch_size: int = 512) -> float:
-        if len(x) != len(labels):
-            raise ValueError("inputs and labels differ in length")
-        correct = 0
-        for start in range(0, len(x), batch_size):
-            stop = start + batch_size
-            correct += int(np.sum(self.predict(x[start:stop])
-                                  == labels[start:stop]))
-        return correct / len(x) if len(x) else 0.0
+                 batch_size: int = DEFAULT_EVAL_BATCH) -> float:
+        return batched_accuracy(self.predict, x, labels,
+                                batch_size=batch_size)
 
     @property
     def weight_layers(self) -> list[_QuantLayer]:

@@ -43,6 +43,8 @@ import re
 from dataclasses import dataclass, fields, replace
 
 from repro.datasets.registry import BENCHMARKS
+from repro.kernels.evaluate import DEFAULT_EVAL_BATCH
+from repro.kernels.registry import BACKEND_NAMES
 
 __all__ = [
     "Budget", "QUICK", "FULL", "budget",
@@ -167,6 +169,13 @@ class PipelineConfig:
     export_dir: str = os.path.join("results", "artifacts")
     serve_name: str | None = None      # registry name; default: app
     cache_dir: str | None = None       # stage cache root; None -> no cache
+    #: compute-kernel backend for every evaluate-style forward pass
+    #: (``repro.kernels``: "reference" | "fast" | "auto").  All backends
+    #: are bit-identical, so this is a speed knob, not a results knob —
+    #: which is also why it is excluded from the stage cache keys.
+    backend: str = "auto"
+    #: evaluation batch size (memory knob; results are independent of it)
+    eval_batch_size: int = DEFAULT_EVAL_BATCH
 
     # ------------------------------------------------------------------
     def __post_init__(self) -> None:
@@ -227,6 +236,13 @@ class PipelineConfig:
                 raise PipelineConfigError(
                     f"ladder count {count} has no standard alphabet set "
                     f"(choose from {DESIGN_COUNTS})")
+        if self.backend not in BACKEND_NAMES:
+            raise PipelineConfigError(
+                f"unknown backend {self.backend!r}; choose from "
+                f"{BACKEND_NAMES}")
+        if self.eval_batch_size < 1:
+            raise PipelineConfigError(
+                f"eval_batch_size must be >= 1, got {self.eval_batch_size}")
         if self.export_design is not None:
             if self.export_design not in self.designs:
                 raise PipelineConfigError(
@@ -306,6 +322,8 @@ class PipelineConfig:
             "export_dir": self.export_dir,
             "serve_name": self.serve_name,
             "cache_dir": self.cache_dir,
+            "backend": self.backend,
+            "eval_batch_size": self.eval_batch_size,
         }
         return data
 

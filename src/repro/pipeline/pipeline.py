@@ -126,7 +126,15 @@ class Pipeline:
     # cache keys: hash only what each stage's result depends on
     # ------------------------------------------------------------------
     def _stage_deps(self, stage: str, plan: tuple[str, ...]) -> dict:
-        """The config slice that determines *stage*'s result."""
+        """The config slice that determines *stage*'s result.
+
+        ``backend`` and ``eval_batch_size`` are deliberately absent from
+        every slice: kernel backends are bit-identical and accuracy is
+        independent of the evaluation batch size, so runs differing only
+        in those fields share every cache entry (asserted in
+        ``tests/test_kernels.py``).  ``cache_dir`` is location, not
+        content.
+        """
         cfg = self.config
         tier = cfg.tier()
         deps: dict = {

@@ -251,24 +251,31 @@ class PipelineContext:
                 f"run 'constrain' first") from None
 
     def design_quantized(self, design: str) -> QuantizedNetwork:
-        """The deployable quantised network of *design* (memoized)."""
+        """The deployable quantised network of *design* (memoized).
+
+        Runs on the config's kernel ``backend`` — bit-identical across
+        backends, so only evaluation speed changes.
+        """
         if design in self._quantized:
             return self._quantized[design]
         model = self.model
         model.load_state(self.require_design_state(design))
         bits = self.bits
         mode = self.config.constraint_mode
+        backend = self.config.backend
         if is_plan_design(parse_design(design)):
             layer_specs = [
                 QuantizationSpec(bits) if aset is None else
                 QuantizationSpec.constrained(bits, aset, mode=mode)
                 for aset in self.design_plan(design)]
             quantized = QuantizedNetwork.from_float(
-                model, QuantizationSpec(bits), layer_specs=layer_specs)
+                model, QuantizationSpec(bits), layer_specs=layer_specs,
+                backend=backend)
         else:
             quantized = QuantizedNetwork.from_float(
                 model, QuantizationSpec.constrained(
-                    bits, self.design_set(design), mode=mode))
+                    bits, self.design_set(design), mode=mode),
+                backend=backend)
         self._quantized[design] = quantized
         return quantized
 
@@ -302,8 +309,10 @@ def stage_quantize(ctx: PipelineContext) -> QuantizeResult:
     model.load_state(ctx.train_state)
     _, x_test = ctx.arrays()
     baseline = QuantizedNetwork.from_float(
-        model, QuantizationSpec(ctx.bits)).accuracy(
-            x_test, ctx.dataset.y_test)
+        model, QuantizationSpec(ctx.bits),
+        backend=ctx.config.backend).accuracy(
+            x_test, ctx.dataset.y_test,
+            batch_size=ctx.config.eval_batch_size)
     return QuantizeResult(bits=ctx.bits, baseline_accuracy=baseline)
 
 
@@ -360,7 +369,9 @@ def _constrain_ladder(ctx: PipelineContext, design: str) -> DesignOutcome:
         base_learning_rate=settings.learning_rate,
         retrain_lr_scale=settings.retrain_lr_scale,
         batch_size=settings.batch_size, patience=settings.patience,
-        constraint_mode=ctx.config.constraint_mode, seed=ctx.config.seed)
+        constraint_mode=ctx.config.constraint_mode, seed=ctx.config.seed,
+        backend=ctx.config.backend,
+        eval_batch_size=ctx.config.eval_batch_size)
     result = method.escalate(
         ctx.model, ctx.dataset, ctx.train_state,
         quantize.baseline_accuracy,
@@ -402,7 +413,8 @@ def stage_evaluate(ctx: PipelineContext) -> EvaluateResult:
             label = f"{len(aset)} {aset}"
             if kind == "ladder":
                 label = f"ladder {len(aset)} {aset}"
-        accuracy = quantized.accuracy(x_test, y_test)
+        accuracy = quantized.accuracy(
+            x_test, y_test, batch_size=ctx.config.eval_batch_size)
         rows.append(EvaluationRow(
             design=design, label=label, accuracy=accuracy,
             loss=None if baseline is None else baseline - accuracy))
@@ -465,7 +477,9 @@ def stage_serve_check(ctx: PipelineContext) -> ServeCheckResult:
     return ServeCheckResult(
         design=export.design, registry_key=entry.key,
         num_params=compiled.num_params,
-        compiled_accuracy=compiled.accuracy(x_test, ctx.dataset.y_test),
+        compiled_accuracy=compiled.accuracy(
+            x_test, ctx.dataset.y_test,
+            batch_size=ctx.config.eval_batch_size),
         bit_identical=bool(np.array_equal(reference, reloaded)),
         energy_nj_per_inference=compiled.energy_per_inference_nj())
 

@@ -9,16 +9,15 @@ activation/requantisation arithmetic, with **no**
 load path.  (When a table *is* needed — e.g. reconstructing a spec — the
 process-wide LRU caches in :mod:`repro.asm.multiplier` make it a lookup.)
 
-Compilation additionally lowers the integer matmuls onto BLAS: numpy has no
-accelerated int64 GEMM, but whenever ``fan_in * max|W| * max|x|`` is below
-``2**53`` every product and partial sum is an exactly-representable float64
-integer, so running the accumulation through ``dgemm`` is *bit-exact* while
-being an order of magnitude faster.  8- and 12-bit words at the paper's
-fan-ins clear that bound by ~20 binary orders of magnitude; layers that ever
-exceeded it would silently stay on the int64 path.  Compiled outputs are
-therefore bit-identical to
+Compilation is backend selection: the layer stack is the same one
+:class:`~repro.nn.quantized.QuantizedNetwork` runs, driven by the ``fast``
+kernel backend of :mod:`repro.kernels` — BLAS in float64 wherever the
+``2**53`` accumulator bound proves that exact, the reference integer
+kernels per layer otherwise (see ``docs/backends.md``).  Compiled outputs
+are therefore bit-identical to
 :meth:`repro.nn.quantized.QuantizedNetwork.forward` (asserted in
-``tests/test_serving.py`` and ``benchmarks/bench_serving_throughput.py``).
+``tests/test_serving.py``, ``tests/test_kernels.py`` and
+``benchmarks/bench_kernels_backends.py``).
 """
 
 from __future__ import annotations
@@ -30,128 +29,18 @@ import numpy as np
 from repro.asm.alphabet import AlphabetSet
 from repro.fixedpoint.qformat import QFormat
 from repro.hardware.engine import LayerWork, NetworkTopology, ProcessingEngine
-from repro.nn.conv_utils import conv_output_size, im2col
+from repro.kernels import DEFAULT_EVAL_BATCH, batched_accuracy, get_backend
+from repro.kernels.registry import KernelBackend
 from repro.nn.quantized import (
     QuantizedNetwork,
     _QuantConv,
     _QuantDense,
     _QuantFlatten,
     _QuantPool,
-    _requantize,
 )
 from repro.serving.artifact import _load_arrays, build_layers, read_manifest
 
 __all__ = ["CompiledModel"]
-
-#: Largest integer magnitude float64 represents exactly.
-_EXACT_FLOAT64 = 2 ** 53
-
-
-def _blas_exact(w_int: np.ndarray, fan_in: int, act_fmt: QFormat) -> bool:
-    """True when the layer's accumulation cannot round in float64.
-
-    Activations are act-format codes, so ``|x| <= 2**(total_bits-1)``; with
-    ``fan_in`` MACs the accumulator magnitude is bounded by
-    ``fan_in * max|W| * max|x|``.  Exact while that stays below ``2**53``.
-    """
-    max_w = int(np.abs(w_int).max()) if w_int.size else 0
-    max_x = 1 << (act_fmt.total_bits - 1)
-    return fan_in * max_w * max_x < _EXACT_FLOAT64
-
-
-def _quantize_codes_f64(values: np.ndarray, fmt: QFormat) -> np.ndarray:
-    """``fmt.quantize_array`` producing float64 codes instead of int64.
-
-    Same op sequence (scale, round-half-away-from-zero, saturate) with
-    in-place arithmetic, so the code *values* are identical — they just stay
-    in the dtype the BLAS layers consume, skipping two dtype round-trips per
-    layer.
-    """
-    from repro.fixedpoint.binary import signed_range
-
-    low, high = signed_range(fmt.total_bits)
-    scaled = np.asarray(values, dtype=np.float64) / fmt.resolution
-    signs = np.sign(scaled)
-    np.abs(scaled, out=scaled)
-    scaled += 0.5
-    np.floor(scaled, out=scaled)
-    scaled *= signs
-    return np.clip(scaled, low, high, out=scaled)
-
-
-class _BlasMixin:
-    """Accept activation codes as either int64 or float64."""
-
-    @staticmethod
-    def _as_float_codes(x_int: np.ndarray) -> np.ndarray:
-        if x_int.dtype == np.float64:
-            return x_int
-        return x_int.astype(np.float64)
-
-    def _requantize_codes(self, real: np.ndarray) -> np.ndarray:
-        """The float-codes twin of :func:`repro.nn.quantized._requantize`."""
-        if self.lut is not None:
-            activated = self.lut(real)
-        else:
-            activated = self.activation.forward(real)
-        return _quantize_codes_f64(activated, self.act_fmt)
-
-
-class _BlasDense(_BlasMixin, _QuantDense):
-    """Dense forward with the exact-in-float64 GEMM lowering."""
-
-    def __init__(self, layer: _QuantDense) -> None:
-        super().__init__(layer.w_int, layer.w_fmt, layer.bias,
-                         layer.activation, layer.act_fmt, layer.lut,
-                         is_output=layer.is_output, name=layer.name)
-        self.alphabets = layer.alphabets
-        self._w_float = np.ascontiguousarray(self.w_int, dtype=np.float64)
-
-    def forward(self, x_int: np.ndarray, x_fmt: QFormat):
-        # bit-exact: every product/partial sum is an integer < 2**53
-        acc = self._as_float_codes(x_int) @ self._w_float
-        scale = x_fmt.resolution * self.w_fmt.resolution
-        real = acc * scale + self.bias
-        if self.is_output:
-            return real, None
-        return self._requantize_codes(real), self.act_fmt
-
-
-class _BlasConv(_BlasMixin, _QuantConv):
-    """Conv forward with the exact-in-float64 GEMM lowering."""
-
-    def __init__(self, layer: _QuantConv) -> None:
-        super().__init__(layer.w_int, layer.w_fmt, layer.bias, layer.kernel,
-                         layer.activation, layer.act_fmt, layer.lut,
-                         name=layer.name)
-        self.alphabets = layer.alphabets
-        kernels = self.w_int.reshape(self.out_channels, -1)
-        self._kernels_float_t = np.ascontiguousarray(
-            kernels.T, dtype=np.float64)
-
-    def forward(self, x_int: np.ndarray, x_fmt: QFormat):
-        batch, _, height, width = x_int.shape
-        out_h = conv_output_size(height, self.kernel)
-        out_w = conv_output_size(width, self.kernel)
-        cols = im2col(self._as_float_codes(x_int), self.kernel)
-        acc = cols @ self._kernels_float_t
-        scale = x_fmt.resolution * self.w_fmt.resolution
-        real = acc * scale + self.bias
-        real = real.transpose(0, 2, 1).reshape(
-            batch, self.out_channels, out_h, out_w)
-        return self._requantize_codes(real), self.act_fmt
-
-
-def _compile_layer(layer, act_fmt: QFormat):
-    """Swap a quantised layer for its BLAS lowering when provably exact."""
-    if type(layer) is _QuantDense and _blas_exact(
-            layer.w_int, layer.w_int.shape[0], act_fmt):
-        return _BlasDense(layer)
-    if type(layer) is _QuantConv:
-        fan_in = layer.w_int.shape[1] * layer.kernel * layer.kernel
-        if _blas_exact(layer.w_int, fan_in, act_fmt):
-            return _BlasConv(layer)
-    return layer
 
 
 class CompiledModel:
@@ -163,10 +52,12 @@ class CompiledModel:
     """
 
     def __init__(self, layers: list, act_fmt: QFormat,
-                 manifest: dict[str, Any]) -> None:
-        self.layers = [_compile_layer(layer, act_fmt) for layer in layers]
+                 manifest: dict[str, Any],
+                 backend: str | KernelBackend = "fast") -> None:
+        self.layers = list(layers)
         self.act_fmt = act_fmt
         self.manifest = manifest
+        self._backend = get_backend(backend)
         self._energy_nj: float | None = None
         self._energy_known = False
 
@@ -187,7 +78,8 @@ class CompiledModel:
         """Compile an in-memory quantised network (no disk round trip).
 
         The layer objects are shared with *network*; they are never mutated
-        by inference.
+        by inference (the fast backend's per-layer weight caches attach to
+        them, which both views share).
         """
         spec = network.spec
         manifest = {
@@ -231,6 +123,18 @@ class CompiledModel:
         return tuple(spatial) if spatial else None
 
     @property
+    def backend(self) -> str:
+        """Name of the kernel backend this model was compiled for."""
+        return self._backend.name
+
+    @property
+    def lowerings(self) -> tuple[str, ...]:
+        """Per-compute-layer lowering the backend chose (``"blas"`` /
+        ``"integer"``); the observability hook for the fallback policy."""
+        return tuple(self._backend.lowering(layer) for layer in self.layers
+                     if not isinstance(layer, _QuantFlatten))
+
+    @property
     def num_params(self) -> int:
         """Deployed parameter count (integer weight/gain tables + biases)."""
         total = 0
@@ -250,35 +154,25 @@ class CompiledModel:
         raise ValueError("model has no dense output layer")
 
     # ------------------------------------------------------------------
-    # inference (same layer code as QuantizedNetwork.forward)
+    # inference (same layer stack as QuantizedNetwork, fast backend)
     # ------------------------------------------------------------------
     def forward(self, x: np.ndarray) -> np.ndarray:
         """Raw output scores for a float input batch (bit-identical to the
         exported :class:`QuantizedNetwork`)."""
-        # codes stay float64 between BLAS layers (exact — see module
-        # docstring); int64-path layers get int64 codes as usual
-        codes = _quantize_codes_f64(x, self.act_fmt)
+        backend = self._backend
+        codes = backend.quantize_input(x, self.act_fmt)
         fmt = self.act_fmt
         for layer in self.layers:
-            if not isinstance(layer, (_BlasMixin, _QuantFlatten)) \
-                    and codes.dtype != np.int64:
-                codes = codes.astype(np.int64)
-            codes, fmt = layer.forward(codes, fmt)
+            codes, fmt = layer.forward(codes, fmt, backend)
         return codes
 
     def predict(self, x: np.ndarray) -> np.ndarray:
         return np.argmax(self.forward(x), axis=1)
 
     def accuracy(self, x: np.ndarray, labels: np.ndarray,
-                 batch_size: int = 512) -> float:
-        if len(x) != len(labels):
-            raise ValueError("inputs and labels differ in length")
-        correct = 0
-        for start in range(0, len(x), batch_size):
-            stop = start + batch_size
-            correct += int(np.sum(self.predict(x[start:stop])
-                                  == labels[start:stop]))
-        return correct / len(x) if len(x) else 0.0
+                 batch_size: int = DEFAULT_EVAL_BATCH) -> float:
+        return batched_accuracy(self.predict, x, labels,
+                                batch_size=batch_size)
 
     # ------------------------------------------------------------------
     # hardware cost (the paper's energy story, reported live by serving)

@@ -85,7 +85,9 @@ class DesignMethodology:
                  batch_size: int = 32,
                  patience: int = 3,
                  constraint_mode: str = "greedy",
-                 seed: int = 0) -> None:
+                 seed: int = 0,
+                 backend: str = "reference",
+                 eval_batch_size: int | None = None) -> None:
         if not 0 < quality <= 1:
             raise ValueError(f"quality must be in (0, 1], got {quality}")
         if not ladder:
@@ -99,6 +101,12 @@ class DesignMethodology:
         self.patience = patience
         self.constraint_mode = constraint_mode
         self.seed = seed
+        #: kernel backend for the K-measurements (bit-identical across
+        #: backends; the pipeline passes its configured one through)
+        self.backend = backend
+        #: evaluation batch size for the K-measurements (``None`` = the
+        #: kernels default); memory knob only
+        self.eval_batch_size = eval_batch_size
 
     # ------------------------------------------------------------------
     def _engine_accuracy(self, network: Sequential, dataset: Dataset,
@@ -109,8 +117,13 @@ class DesignMethodology:
         else:
             spec = QuantizationSpec.constrained(
                 self.bits, alphabet_set, mode=self.constraint_mode)
-        quantized = QuantizedNetwork.from_float(network, spec)
-        return quantized.accuracy(x_test, dataset.y_test)
+        from repro.kernels import DEFAULT_EVAL_BATCH
+
+        quantized = QuantizedNetwork.from_float(network, spec,
+                                                backend=self.backend)
+        return quantized.accuracy(
+            x_test, dataset.y_test,
+            batch_size=self.eval_batch_size or DEFAULT_EVAL_BATCH)
 
     def run(self, network: Sequential, dataset: Dataset,
             max_epochs: int = 30, retrain_epochs: int = 15,

@@ -459,9 +459,11 @@ class TestCLI:
 
     def test_package_exports(self):
         import repro
-        assert repro.__version__ == "1.3.0"
+        assert repro.__version__ == "1.4.0"
         assert repro.PipelineConfig is PipelineConfig
         assert repro.run_pipeline is run_pipeline
+        from repro.kernels import get_backend
+        assert repro.get_backend is get_backend
         from repro.explore import SearchSpace, run_exploration
         assert repro.SearchSpace is SearchSpace
         assert repro.run_exploration is run_exploration

@@ -161,6 +161,51 @@ class TestLayerSpecs:
                 layer_specs=[QuantizationSpec(8), QuantizationSpec(12)])
 
 
+class TestKernelBackends:
+    """The layer stack dispatches to repro.kernels; backends must be
+    bit-identical on trained networks (the broad sweep lives in
+    tests/test_kernels.py)."""
+
+    def test_default_backend_is_reference(self, trained_mlp):
+        model, _ = trained_mlp
+        q = QuantizedNetwork.from_float(model, QuantizationSpec(8))
+        assert q.backend == "reference"
+        assert q.with_backend("auto").backend == "fast"
+
+    def test_fast_bit_identical_on_trained_network(self, trained_mlp):
+        model, data = trained_mlp
+        c = WeightConstrainer(8, ALPHA_2)
+        q = QuantizedNetwork.from_float(
+            model, QuantizationSpec(8, ALPHA_2, constrainer=c))
+        fast = q.with_backend("fast")
+        np.testing.assert_array_equal(q.forward(data.flat_test),
+                                      fast.forward(data.flat_test))
+        assert q.accuracy(data.flat_test, data.y_test) == \
+            fast.accuracy(data.flat_test, data.y_test)
+
+    def test_with_backend_shares_layers(self, trained_mlp):
+        model, _ = trained_mlp
+        q = QuantizedNetwork.from_float(model, QuantizationSpec(8))
+        fast = q.with_backend("fast")
+        assert fast.layers is q.layers
+        assert q.backend == "reference"  # original untouched
+
+    def test_unknown_backend_rejected(self, trained_mlp):
+        model, _ = trained_mlp
+        from repro.kernels import KernelBackendError
+        with pytest.raises(KernelBackendError):
+            QuantizedNetwork.from_float(model, QuantizationSpec(8),
+                                        backend="simd")
+
+    def test_lut_backend_equivalence(self, trained_mlp):
+        model, data = trained_mlp
+        q = QuantizedNetwork.from_float(model, QuantizationSpec(8),
+                                        use_lut=True)
+        np.testing.assert_array_equal(
+            q.forward(data.flat_test[:64]),
+            q.with_backend("fast").forward(data.flat_test[:64]))
+
+
 class TestBitWidthOrdering:
     def test_12bit_at_least_as_good_as_8bit_man(self, trained_mlp):
         """More weight bits → finer MAN grid → no worse accuracy (paper's
