@@ -8,12 +8,10 @@ root so the perf trajectory of the hot path has data over time.  The
 floor.
 """
 
-import json
-import os
 import time
 
 import numpy as np
-from conftest import emit
+from conftest import emit, emit_json
 
 from repro.asm.alphabet import ALPHA_2
 from repro.datasets.registry import lenet, mlp
@@ -24,9 +22,6 @@ N_DENSE = 1024
 N_CONV = 64
 ROUNDS = 5
 RNG = np.random.default_rng(9)
-
-BENCH_JSON = os.path.join(os.path.dirname(__file__), "..",
-                          "BENCH_kernels.json")
 
 
 def _samples_per_sec(forward, x, rounds: int = ROUNDS) -> float:
@@ -53,13 +48,6 @@ def _measure(quantized: QuantizedNetwork, x: np.ndarray) -> dict:
     }
 
 
-def _write_json(results: dict) -> None:
-    payload = {"format": "repro-bench/kernels/1", "results": results}
-    with open(BENCH_JSON, "w") as handle:
-        json.dump(payload, handle, indent=2, sort_keys=True)
-        handle.write("\n")
-
-
 def test_dense_and_conv_backends(benchmark):
     dense_net = QuantizedNetwork.from_float(
         mlp([1024, 100, 10], name="digits", seed=2),
@@ -77,7 +65,7 @@ def test_dense_and_conv_backends(benchmark):
     benchmark.pedantic(
         lambda: dense_net.with_backend("fast").forward(x_dense),
         rounds=3, iterations=1)
-    _write_json(results)
+    emit_json("kernels", results)
 
     rows = [[name,
              f"{entry['reference_samples_per_sec']:.0f}",

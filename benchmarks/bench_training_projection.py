@@ -1,0 +1,88 @@
+"""Projection-kernel throughput: fused fast pass vs reference round trip.
+
+:class:`~repro.training.constrained.ConstraintProjector` runs after every
+optimiser step of a constrained retrain, so its per-call cost multiplies
+across every retrain, quality-ladder escalation and ``repro explore``
+candidate.  This bench projects the weights of the paper-scale 8-bit MLP
+(and the 12-bit variant) through both projection-kernel backends, asserts
+the projected parameters are bitwise identical, and emits machine-
+readable ``BENCH_training.json`` (ms per projection + speedup) at the
+repo root.  The ``perf-smoke`` CI job runs it and enforces the speedup
+floor on the 8-bit MLP workload.
+"""
+
+import time
+
+import numpy as np
+from conftest import emit, emit_json
+
+from repro.asm.alphabet import ALPHA_2
+from repro.datasets.registry import mlp
+from repro.hardware.report import format_table
+from repro.training.constrained import ConstraintProjector
+
+#: acceptance bar: fast >= 3x reference on the 8-bit MLP retrain step
+SPEEDUP_FLOOR = 3.0
+
+WORKLOADS = {
+    # name: (layer sizes, bits)
+    "mlp_1024x100x10_8b_asm2": ([1024, 100, 10], 8),
+    "mlp_1024x100x10_12b_asm2": ([1024, 100, 10], 12),
+}
+
+
+def _ms_per_projection(projector, rounds=100, passes=5):
+    """Best-of-*passes* mean ms per ``project()`` call (noise-robust)."""
+    projector.project()                            # warm caches / formats
+    best = float("inf")
+    for _ in range(passes):
+        start = time.perf_counter()
+        for _ in range(rounds):
+            projector.project()
+        best = min(best, (time.perf_counter() - start) / rounds)
+    return best * 1e3
+
+
+def test_projection_backends(benchmark):
+    results = {}
+    for name, (sizes, bits) in WORKLOADS.items():
+        network = mlp(sizes, name="bench", seed=5)
+        start_state = network.state()
+
+        reference = ConstraintProjector(network, bits, ALPHA_2,
+                                        backend="reference")
+        fast = ConstraintProjector(network, bits, ALPHA_2, backend="fast")
+
+        reference.project()
+        ref_state = network.state()
+        network.load_state(start_state)
+        fast.project()
+        for ref_layer, got_layer in zip(ref_state, network.state()):
+            for key in ref_layer:
+                assert ref_layer[key].tobytes() == got_layer[key].tobytes(), \
+                    f"{name}: projection backends diverged on {key!r}"
+        assert fast.violations() == 0
+
+        ref_ms = _ms_per_projection(reference)
+        fast_ms = _ms_per_projection(fast)
+        results[name] = {
+            "weights": int(sum(np.prod(s) for s in
+                               zip(sizes[:-1], sizes[1:]))),
+            "reference_ms": round(ref_ms, 4),
+            "fast_ms": round(fast_ms, 4),
+            "speedup": round(ref_ms / fast_ms, 2),
+        }
+    benchmark.pedantic(fast.project, rounds=3, iterations=1)
+    emit_json("training", results)
+
+    rows = [[name, entry["weights"], f"{entry['reference_ms']:.3f}",
+             f"{entry['fast_ms']:.3f}", f"{entry['speedup']:.2f}x"]
+            for name, entry in results.items()]
+    emit("bench_training_projection", format_table(
+        ["Workload", "Weights", "reference (ms)", "fast (ms)", "Speedup"],
+        rows, title="Projection backends - constrained-retraining hot loop"))
+
+    mlp8_speedup = results["mlp_1024x100x10_8b_asm2"]["speedup"]
+    assert mlp8_speedup >= SPEEDUP_FLOOR, \
+        f"fast projection only {mlp8_speedup:.2f}x reference on the " \
+        f"8-bit MLP (floor {SPEEDUP_FLOOR}x)"

@@ -7,6 +7,7 @@ Each bench writes its table to ``results/`` and prints it, so running with
 ``pytest benchmarks/ --benchmark-only -s`` shows every reproduced row.
 """
 
+import json
 import os
 
 import pytest
@@ -17,7 +18,8 @@ from repro.experiments.config import Budget
 TINY = Budget("tiny", n_train=400, n_test=200, max_epochs=5,
               retrain_epochs=3)
 
-RESULTS_DIR = os.path.join(os.path.dirname(__file__), "..", "results")
+REPO_ROOT = os.path.join(os.path.dirname(__file__), "..")
+RESULTS_DIR = os.path.join(REPO_ROOT, "results")
 
 
 def emit(name: str, text: str) -> None:
@@ -27,6 +29,24 @@ def emit(name: str, text: str) -> None:
     os.makedirs(RESULTS_DIR, exist_ok=True)
     with open(os.path.join(RESULTS_DIR, f"{name}.txt"), "w") as handle:
         handle.write(text + "\n")
+
+
+def emit_json(name: str, results: dict, version: int = 1) -> str:
+    """Write machine-readable bench results as ``BENCH_<name>.json``.
+
+    The one writer every perf bench shares: wraps *results* in the
+    ``{"format": "repro-bench/<name>/<version>", "results": ...}``
+    envelope and writes it at the repo root (next to the text tables'
+    ``emit``), where the CI perf-smoke jobs and the perf trajectory
+    tooling expect it.  Returns the path written.
+    """
+    payload = {"format": f"repro-bench/{name}/{version}",
+               "results": results}
+    path = os.path.join(REPO_ROOT, f"BENCH_{name}.json")
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
 
 
 @pytest.fixture

@@ -239,6 +239,13 @@ class WeightConstrainer:
         return self.constrain(weight) == weight
 
     @property
+    def table(self) -> np.ndarray:
+        """The read-only signed lookup table, indexed by
+        ``weight + max_magnitude + 1`` — the fused projection kernel
+        (:mod:`repro.kernels.projection`) indexes it directly."""
+        return self._table
+
+    @property
     def grid(self) -> tuple[int, ...]:
         """Sorted magnitudes of the representable grid."""
         return representable_magnitudes(self.layout, self.alphabet_set)

@@ -70,6 +70,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 config = config.with_overrides(cache_dir=args.cache_dir)
             if args.backend is not None:
                 config = config.with_overrides(backend=args.backend)
+            if args.sim_backend is not None:
+                config = config.with_overrides(sim_backend=args.sim_backend)
             if seeds is not None:
                 configs.extend(config.with_overrides(seed=seed)
                                for seed in seeds)
@@ -127,9 +129,14 @@ def _cmd_explore(args: argparse.Namespace) -> int:
 
     try:
         space = SearchSpace.load(args.space)
-        if args.backend is not None:
+        if args.backend is not None or args.sim_backend is not None:
             from dataclasses import replace
-            space = replace(space, backend=args.backend)
+            overrides = {}
+            if args.backend is not None:
+                overrides["backend"] = args.backend
+            if args.sim_backend is not None:
+                overrides["sim_backend"] = args.sim_backend
+            space = replace(space, **overrides)
         journal_dir = args.journal if args.journal is not None else \
             os.path.join(DEFAULT_EXPLORE_DIR, space.name)
         report = run_exploration(space, journal_dir,
@@ -230,6 +237,11 @@ def build_parser() -> argparse.ArgumentParser:
                      choices=("reference", "fast", "auto"),
                      help="compute-kernel backend for evaluation "
                           "(bit-identical; overrides config.backend)")
+    run.add_argument("--sim-backend", default=None,
+                     choices=("reference", "fast", "auto"),
+                     help="simulation-kernel backend for the cycle-"
+                          "accurate toggle simulator (bit-identical; "
+                          "overrides config.sim_backend)")
     run.add_argument("--no-resume", action="store_true",
                      help="ignore cached stage results")
     run.add_argument("--full", action="store_true",
@@ -279,6 +291,12 @@ def build_parser() -> argparse.ArgumentParser:
                          help="compute-kernel backend for candidate "
                               "evaluation (bit-identical; overrides "
                               "space.backend)")
+    explore.add_argument("--sim-backend", default=None,
+                         choices=("reference", "fast", "auto"),
+                         help="simulation-kernel backend for the "
+                              "candidates' toggle simulator "
+                              "(bit-identical; overrides "
+                              "space.sim_backend)")
     explore.add_argument("--no-resume", action="store_true",
                          help="ignore the journal and stage cache")
     explore.add_argument("--register", action="store_true",

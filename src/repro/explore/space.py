@@ -67,6 +67,13 @@ class SearchSpace:
     #: kernel backend every candidate evaluates on (bit-identical across
     #: backends — "auto" runs sweeps on the fast BLAS path)
     backend: str = "auto"
+    #: simulation-kernel backend for the candidates' toggle simulator
+    #: (bit-identical across backends — "auto" runs sweeps on the
+    #: vectorised counting path)
+    sim_backend: str = "auto"
+    #: test samples each candidate traces through the cycle-accurate
+    #: simulator (0 = analytic energy only; see PipelineConfig)
+    sim_samples: int = 0
 
     # ------------------------------------------------------------------
     def __post_init__(self) -> None:
@@ -135,7 +142,8 @@ class SearchSpace:
             app=self.app, bits=bits, designs=(design,), stages=EVAL_STAGES,
             budget=budget, seed=seed, quality=quality,
             constraint_mode=constraint_mode, cache_dir=cache_dir,
-            backend=self.backend)
+            backend=self.backend, sim_backend=self.sim_backend,
+            sim_samples=self.sim_samples)
 
     def grid(self, cache_dir: str | None = None) -> tuple[PipelineConfig, ...]:
         """The full cartesian grid, canonicalised and deduplicated.
@@ -212,6 +220,8 @@ class SearchSpace:
             "sensitivity_counts": list(self.sensitivity_counts),
             "objectives": list(self.objectives),
             "backend": self.backend,
+            "sim_backend": self.sim_backend,
+            "sim_samples": self.sim_samples,
         }
 
     @classmethod

@@ -143,7 +143,8 @@ class ProcessingEngine:
     def __init__(self, bits: int, alphabet_set: AlphabetSet | None = None,
                  tech: TechnologyModel = IBM45,
                  clock_ghz: float | None = None,
-                 config: NeuronConfig | None = None) -> None:
+                 config: NeuronConfig | None = None,
+                 sim_backend: str = "auto") -> None:
         self.bits = bits
         self.tech = tech
         self.config = config or NeuronConfig()
@@ -151,7 +152,11 @@ class ProcessingEngine:
             else clock_for_bits(bits)
         self.alphabet_set = alphabet_set
         self.units = self.config.share_units
+        #: simulation-kernel backend handed to :meth:`simulator` engines
+        #: (bit-identical traces across backends; a speed knob only)
+        self.sim_backend = sim_backend
         self._design_cache: dict[object, object] = {}
+        self._simulator_cache: dict[object, object] = {}
 
     # ------------------------------------------------------------------
     def _design(self, alphabet_set: AlphabetSet | None):
@@ -170,6 +175,31 @@ class ProcessingEngine:
         """Cycles to evaluate *layer*: groups of ``units`` neurons, one MAC
         per unit per cycle."""
         return ceil(layer.neurons / self.units) * layer.macs_per_neuron
+
+    #: sentinel: "use the engine's own alphabet set" (``None`` is a real
+    #: value — the conventional-multiplier design)
+    _OWN_SET = object()
+
+    def simulator(self, alphabet_set: AlphabetSet | None = _OWN_SET):
+        """A cycle-accurate twin of this engine (memoized per design).
+
+        Shares the engine's word width, lane count, technology model and
+        ``sim_backend``; *alphabet_set* defaults to the engine's own
+        (pass ``None`` explicitly for the conventional design).  The
+        toggle-level simulator exposes the data dependence the analytic
+        :meth:`run` averages away — the pipeline's energy stage uses it
+        when ``sim_samples`` is configured.
+        """
+        from repro.hardware.simulator import CycleAccurateEngine
+
+        if alphabet_set is ProcessingEngine._OWN_SET:
+            alphabet_set = self.alphabet_set
+        key = alphabet_set.alphabets if alphabet_set is not None else None
+        if key not in self._simulator_cache:
+            self._simulator_cache[key] = CycleAccurateEngine(
+                self.bits, alphabet_set, units=self.units, tech=self.tech,
+                backend=self.sim_backend)
+        return self._simulator_cache[key]
 
     # ------------------------------------------------------------------
     def run(self, topology: NetworkTopology,

@@ -17,6 +17,15 @@ a per-bit-toggle energy derived from the technology model.  Because toggles
 depend on the operand stream, the simulator exposes the *data dependence*
 of energy that the analytic model averages away — sparse activations make
 shift-add datapaths cheaper still.
+
+The toggle counting itself is a compute kernel of :mod:`repro.kernels`
+(module :mod:`~repro.kernels.simulate`): ``backend="reference"`` walks
+the schedule cycle by cycle, ``backend="fast"`` (the ``"auto"`` default)
+lays the whole evaluation out over the time axis and counts all four
+toggle categories in one batched XOR + popcount pass — bit-identical
+traces, an order of magnitude less wall-clock (see
+``BENCH_simulator.json``).  This class owns validation, the effective-
+weight remap and the energy model; the kernels own the counting.
 """
 
 from __future__ import annotations
@@ -27,13 +36,11 @@ import numpy as np
 
 from repro.asm.alphabet import AlphabetSet
 from repro.asm.multiplier import AlphabetSetMultiplier
-from repro.fixedpoint.binary import popcount_array
+from repro.kernels import get_backend
+from repro.kernels.registry import KernelBackend
 from repro.hardware.technology import IBM45, TechnologyModel
 
 __all__ = ["ToggleCounts", "LayerTrace", "CycleAccurateEngine"]
-
-#: Mask used so two's-complement values compare on a fixed word width.
-_ACC_BITS = 32
 
 
 @dataclass(frozen=True)
@@ -78,13 +85,19 @@ class CycleAccurateEngine:
         on unsupported weights, exactly like the hardware.
     units:
         Lanes sharing the broadcast input and the bank.
+    backend:
+        Simulation-kernel backend (``"reference"`` / ``"fast"`` /
+        ``"auto"``, or a :class:`~repro.kernels.registry.KernelBackend`).
+        All backends produce bit-identical traces; the choice is a speed
+        knob only.
     """
 
     #: energy per bit toggle per net class, in fJ (from the technology
     #: model: register toggles cost a DFF switch, bus toggles a wire run,
     #: combinational products an FA-dominated cone)
     def __init__(self, bits: int, alphabet_set: AlphabetSet | None = None,
-                 units: int = 4, tech: TechnologyModel = IBM45) -> None:
+                 units: int = 4, tech: TechnologyModel = IBM45,
+                 backend: str | KernelBackend = "auto") -> None:
         if bits < 2:
             raise ValueError("word width must be at least 2 bits")
         if units < 1:
@@ -93,11 +106,17 @@ class CycleAccurateEngine:
         self.units = units
         self.tech = tech
         self.alphabet_set = alphabet_set
+        self._kernel = get_backend(backend)
         if alphabet_set is not None:
             self._multiplier = AlphabetSetMultiplier(bits, alphabet_set,
                                                      fallback="error")
         else:
             self._multiplier = None
+        if alphabet_set is None or alphabet_set.is_multiplierless:
+            #: alphabet multiples the shared bank recomputes every cycle
+            self.bank_multiples: tuple[int, ...] = ()
+        else:
+            self.bank_multiples = tuple(a for a in alphabet_set if a > 1)
         self.energy_per_toggle_fj = {
             "input_bus": tech.energy("WIRE_TRACK") * 30.0,  # ~30um of wire
             "bank_outputs": tech.energy("FA") * 1.5,
@@ -106,6 +125,11 @@ class CycleAccurateEngine:
         }
 
     # ------------------------------------------------------------------
+    @property
+    def backend(self) -> str:
+        """Name of the selected simulation-kernel backend."""
+        return self._kernel.name
+
     def _effective_weights(self, weights: np.ndarray) -> np.ndarray:
         weights = np.asarray(weights, dtype=np.int64)
         if self._multiplier is None:
@@ -122,24 +146,25 @@ class CycleAccurateEngine:
             )
         return effective
 
-    def _bank_values(self, x: int) -> np.ndarray:
-        if self.alphabet_set is None or self.alphabet_set.is_multiplierless:
-            return np.array([], dtype=np.int64)
-        return np.array([a * x for a in self.alphabet_set if a > 1],
-                        dtype=np.int64)
+    def remap_weights(self, weights: np.ndarray) -> np.ndarray:
+        """Validate *weights* and remap them to effective values once.
 
-    @staticmethod
-    def _toggles(previous: np.ndarray, current: np.ndarray) -> int:
-        mask = (1 << _ACC_BITS) - 1
-        flipped = (previous & mask) ^ (current & mask)
-        return int(popcount_array(flipped).sum())
+        ``run_layer`` does this on every call; callers replaying many
+        activation vectors against the same layer (the pipeline's
+        ``sim_samples`` energy traces) remap once and pass
+        ``remapped=True`` instead.
+        """
+        return self._effective_weights(weights)
 
     # ------------------------------------------------------------------
     def run_layer(self, weights: np.ndarray, inputs: np.ndarray,
-                  name: str = "layer") -> LayerTrace:
+                  name: str = "layer", remapped: bool = False) -> LayerTrace:
         """Simulate one dense layer: ``weights`` is ``(fan_in, neurons)``
-        integers, ``inputs`` a length-``fan_in`` integer vector."""
-        weights = self._effective_weights(weights)
+        integers, ``inputs`` a length-``fan_in`` integer vector.
+        ``remapped=True`` skips the effective-weight remap for weights
+        already returned by :meth:`remap_weights`."""
+        weights = np.asarray(weights, dtype=np.int64) if remapped \
+            else self._effective_weights(weights)
         inputs = np.asarray(inputs, dtype=np.int64)
         if weights.ndim != 2 or inputs.ndim != 1 \
                 or weights.shape[0] != inputs.shape[0]:
@@ -149,47 +174,14 @@ class CycleAccurateEngine:
             )
         fan_in, neurons = weights.shape
 
-        cycles = 0
-        busy_lane_cycles = 0
-        toggles = dict.fromkeys(self.energy_per_toggle_fj, 0)
-        prev_input = np.zeros(1, dtype=np.int64)
-        prev_bank = self._bank_values(0)
-        prev_products = np.zeros(self.units, dtype=np.int64)
-        accumulators = np.zeros(self.units, dtype=np.int64)
-
-        for group_start in range(0, neurons, self.units):
-            group = weights[:, group_start:group_start + self.units]
-            lanes = group.shape[1]
-            accumulators[:] = 0
-            for t in range(fan_in):
-                x = int(inputs[t])
-                current_input = np.array([x], dtype=np.int64)
-                toggles["input_bus"] += self._toggles(prev_input,
-                                                      current_input)
-                prev_input = current_input
-
-                bank = self._bank_values(x)
-                if bank.size:
-                    toggles["bank_outputs"] += self._toggles(prev_bank, bank)
-                    prev_bank = bank
-
-                products = np.zeros(self.units, dtype=np.int64)
-                products[:lanes] = group[t] * x
-                toggles["products"] += self._toggles(prev_products, products)
-                prev_products = products
-
-                previous_acc = accumulators.copy()
-                accumulators = accumulators + products
-                toggles["accumulators"] += self._toggles(previous_acc,
-                                                         accumulators)
-                cycles += 1
-                busy_lane_cycles += lanes
-
+        counts = self._kernel.simulate_layer(weights, inputs, self.units,
+                                             self.bank_multiples)
+        toggles = counts.toggles
         energy_fj = sum(toggles[key] * self.energy_per_toggle_fj[key]
                         for key in toggles)
         return LayerTrace(
             name=name,
-            cycles=cycles,
+            cycles=counts.cycles,
             macs=fan_in * neurons,
             toggles=ToggleCounts(
                 input_bus=toggles["input_bus"],
@@ -198,6 +190,6 @@ class CycleAccurateEngine:
                 accumulators=toggles["accumulators"],
             ),
             energy_nj=energy_fj * 1e-6,
-            utilization=busy_lane_cycles / (cycles * self.units)
-            if cycles else 0.0,
+            utilization=counts.busy_lane_cycles
+            / (counts.cycles * self.units) if counts.cycles else 0.0,
         )

@@ -35,11 +35,14 @@ from repro.kernels.registry import (
 from repro.kernels import reference as _reference  # noqa: E402,F401
 from repro.kernels import fast as _fast            # noqa: E402,F401
 from repro.kernels.fast import blas_exact, quantize_codes_f64
+from repro.kernels.projection import quantize_constrain
 from repro.kernels.reference import requantize
+from repro.kernels.simulate import SimCounts, TOGGLE_KEYS
 
 __all__ = [
     "BACKEND_NAMES", "KernelBackend", "KernelBackendError",
     "get_backend", "register_backend",
     "DEFAULT_EVAL_BATCH", "batched_accuracy",
     "blas_exact", "quantize_codes_f64", "requantize",
+    "SimCounts", "TOGGLE_KEYS", "quantize_constrain",
 ]

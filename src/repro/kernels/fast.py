@@ -29,7 +29,9 @@ import numpy as np
 
 from repro.fixedpoint.binary import signed_range
 from repro.kernels import reference
+from repro.kernels.projection import project_fast
 from repro.kernels.registry import KernelBackend, register_backend
+from repro.kernels.simulate import simulate_layer_fast
 
 __all__ = ["blas_exact", "quantize_codes_f64", "requantize_codes",
            "FastBackend"]
@@ -188,6 +190,12 @@ class FastBackend(KernelBackend):
         if plan is None:
             return "integer"
         return "blas" if plan(layer) is not None else "integer"
+
+    def simulate_layer(self, weights, inputs, units, bank_multiples):
+        return simulate_layer_fast(weights, inputs, units, bank_multiples)
+
+    def project_weights(self, weights, bits, constrainer, cache):
+        return project_fast(weights, bits, constrainer, cache)
 
 
 FAST = FastBackend()

@@ -1,0 +1,131 @@
+"""Projection kernels: the constrained-retraining weight snap.
+
+:class:`~repro.training.constrained.ConstraintProjector` runs after
+**every** optimiser step of a constrained retrain: quantise each weight
+tensor to its per-layer power-of-two grid, push the integer codes onto
+the alphabet-supported grid (a signed lookup table), and dequantise back
+to float.  That three-step round trip is the training hot loop, so it is
+a kernel with two implementations behind the backend registry:
+
+``reference``
+    The original operation sequence — :func:`quantize_constrain` (also
+    the single shared call site of ``project()``/``violations()``)
+    followed by ``QFormat.to_float_array``.  Allocates fresh arrays per
+    step, exactly as the projector always has.
+
+``fast``
+    One fused pass over preallocated per-layer buffers: the
+    :class:`~repro.fixedpoint.qformat.QFormat` is memoized while the
+    tensor's ``max|w|`` stays inside the format's power-of-two validity
+    window, the quantise arithmetic runs in place (scale by the exact
+    reciprocal of the power-of-two resolution, round half away from
+    zero, saturate), the constrainer's signed lookup table is indexed
+    directly, and the dequantised result is written back into the
+    caller's float tensor — zero per-step allocations once warm.
+    Bit-identical to ``reference`` on every input (asserted in
+    ``tests/test_sim_backends.py``): the op values are the same, only
+    buffer reuse differs, and the power-of-two scale makes the
+    reciprocal multiply exact.
+
+The *constrainer* argument is duck-typed (needs ``constrain_array``, the
+``table`` lookup array and ``layout.max_magnitude``), keeping this
+module free of ``repro.asm`` imports.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.fixedpoint.qformat import QFormat, qformat_for_range
+
+__all__ = ["quantize_constrain", "project_reference", "project_fast"]
+
+
+def quantize_constrain(weights: np.ndarray, bits: int, constrainer,
+                       ) -> tuple[QFormat, np.ndarray, np.ndarray]:
+    """Quantise *weights* and constrain the codes (reference semantics).
+
+    Returns ``(fmt, codes, constrained_codes)`` — the shared first two
+    steps of projection and of the projector's ``violations()`` count.
+    """
+    max_abs = float(np.max(np.abs(weights))) if weights.size else 1.0
+    fmt = qformat_for_range(bits, max(max_abs, 1e-12))
+    codes = fmt.quantize_array(weights)
+    return fmt, codes, constrainer.constrain_array(codes)
+
+
+def project_reference(weights: np.ndarray, bits: int, constrainer,
+                      cache: dict) -> np.ndarray:
+    """The projector's original quantise -> constrain -> dequantise."""
+    fmt, _, constrained = quantize_constrain(weights, bits, constrainer)
+    return fmt.to_float_array(constrained).reshape(weights.shape)
+
+
+def project_fast(weights: np.ndarray, bits: int, constrainer,
+                 cache: dict) -> np.ndarray:
+    """Fused in-place projection over memoized per-layer buffers.
+
+    *cache* is a per-(layer, parameter) dict owned by the projector; it
+    holds the scratch buffers, the signed lookup table offset and the
+    memoized :class:`QFormat` with its validity window ``(lo, hi]`` —
+    ``qformat_for_range`` returns the same format for every ``max_abs``
+    in that window, so the format is only recomputed when the weight
+    range crosses a power-of-two boundary.
+    """
+    if not weights.size or not weights.flags.c_contiguous \
+            or weights.dtype != np.float64:
+        # the fused pass writes float64 results through a flat view,
+        # which needs a contiguous float64 tensor (layer parameters
+        # always are); anything else takes the reference path rather
+        # than silently downcasting
+        return project_reference(weights, bits, constrainer, cache)
+    if cache.get("shape") != weights.shape:
+        n = weights.size
+        cache["shape"] = weights.shape
+        cache["scaled"] = np.empty(n, dtype=np.float64)
+        cache["codes"] = np.empty(n, dtype=np.int64)
+        cache["max_mag"] = constrainer.layout.max_magnitude
+        cache["fmt"] = None
+    flat = weights.reshape(-1)
+    scaled = cache["scaled"]
+    max_mag = cache["max_mag"]
+
+    np.abs(flat, out=scaled)
+    max_abs = max(float(scaled.max()), 1e-12)
+    fmt = cache["fmt"]
+    if fmt is None or not cache["lo"] < max_abs <= cache["hi"]:
+        fmt = qformat_for_range(bits, max_abs)
+        cache["fmt"] = fmt
+        cache["hi"] = max_mag * 2.0 ** (-fmt.frac_bits)
+        cache["lo"] = max_mag * 2.0 ** (-(fmt.frac_bits + 1))
+        # magnitude code -> constrained dequantised float, fused into
+        # one lookup (exact: |code| < 2**53 and the resolution is a
+        # power of two).  Index max_mag + 1 is the most negative signed
+        # code, which saturates to the constrained max_mag — exactly
+        # the signed table's index-0 entry, mirrored positive.
+        table = constrainer.table
+        cache["mag_table"] = np.concatenate(
+            [table[max_mag + 1:], table[-1:]]) * fmt.resolution
+
+    # quantise in the magnitude domain (the sign rides along via
+    # copysign below): |code| = floor(|w|/res + 0.5), saturated.  The
+    # values are the same as QFormat.quantize_array's — dividing by a
+    # power of two == multiplying by its exact reciprocal, saturating
+    # before truncation == after (the bound is itself an integer), and
+    # int64 truncation of a non-negative float == floor.
+    scaled *= 1.0 / fmt.resolution
+    scaled += 0.5
+    np.clip(scaled, 0.0, max_mag + 1.0, out=scaled)
+    codes = cache["codes"]
+    np.copyto(codes, scaled, casting="unsafe")   # trunc == floor here
+
+    # constrain + dequantise: one lookup through the pre-scaled
+    # magnitude table (every index is in range after the clip above;
+    # mode="clip" skips the bounds check numpy's default mode pays),
+    # then re-apply the signs.  Adding 0.0 turns the -0.0 that copysign
+    # leaves on negative-weight zeros into the +0.0 the reference
+    # produces, and changes no other value.
+    np.take(cache["mag_table"], codes, out=scaled, mode="clip")
+    np.copysign(scaled, flat, out=flat)
+    flat += 0.0
+    return weights

@@ -18,7 +18,9 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.kernels.projection import project_reference
 from repro.kernels.registry import KernelBackend, register_backend
+from repro.kernels.simulate import simulate_layer_reference
 
 __all__ = ["apply_activation", "requantize", "dense_forward",
            "conv_forward", "pool_forward", "ReferenceBackend"]
@@ -116,6 +118,13 @@ class ReferenceBackend(KernelBackend):
 
     def pool(self, layer, x, x_fmt):
         return pool_forward(layer, x, x_fmt)
+
+    def simulate_layer(self, weights, inputs, units, bank_multiples):
+        return simulate_layer_reference(weights, inputs, units,
+                                        bank_multiples)
+
+    def project_weights(self, weights, bits, constrainer, cache):
+        return project_reference(weights, bits, constrainer, cache)
 
 
 REFERENCE = ReferenceBackend()

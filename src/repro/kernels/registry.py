@@ -1,8 +1,13 @@
 """The kernel-backend registry.
 
-A :class:`KernelBackend` bundles one implementation of every forward
-kernel the quantised engine needs — input quantisation, dense, conv
-(im2col), scaled-average pool and requantisation.  Two are built in:
+A :class:`KernelBackend` bundles one implementation of every compute
+kernel the engine models need — the forward kernels (input quantisation,
+dense, conv (im2col), scaled-average pool, requantisation), the
+cycle-accurate **simulation** kernel (toggle counting for the
+:class:`~repro.hardware.simulator.CycleAccurateEngine`) and the
+**projection** kernel (the constrained-retraining weight snap of
+:class:`~repro.training.constrained.ConstraintProjector`).  Two are
+built in:
 
 ``"reference"``
     Exact integer arithmetic: int64 accumulation, the bit-accurate
@@ -72,6 +77,32 @@ class KernelBackend:
     def lowering(self, layer) -> str:
         """How this backend runs *layer*: ``"integer"`` or ``"blas"``."""
         return "integer"
+
+    # -- simulation / projection kernel families -----------------------
+    def simulate_layer(self, weights, inputs, units, bank_multiples):
+        """Toggle-count one dense-layer evaluation on the CSHM cluster.
+
+        *weights* is the ``(fan_in, neurons)`` effective-weight matrix,
+        *inputs* a length-``fan_in`` int64 activation vector, *units*
+        the MAC lane count and *bank_multiples* the pre-computer bank's
+        alphabet entries ``> 1``.  Returns a
+        :class:`~repro.kernels.simulate.SimCounts`; all backends count
+        identical toggles (asserted in ``tests/test_sim_backends.py``).
+        """
+        raise NotImplementedError
+
+    def project_weights(self, weights, bits, constrainer, cache):
+        """Snap a float weight tensor onto its constrained grid.
+
+        The quantise -> constrain-LUT -> dequantise round trip run after
+        every optimiser step of a constrained retrain.  *cache* is a
+        per-(layer, parameter) dict a backend may use for memoized
+        formats and scratch buffers; *constrainer* is duck-typed
+        (``constrain_array`` / ``table`` / ``layout.max_magnitude``).
+        Returns the projected tensor (backends may write in place); all
+        backends produce bit-identical values.
+        """
+        raise NotImplementedError
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"<KernelBackend {self.name}>"

@@ -399,6 +399,29 @@ class QuantizedNetwork:
     def predict(self, x: np.ndarray) -> np.ndarray:
         return np.argmax(self.forward(x), axis=1)
 
+    def dense_layer_inputs(self, x: np.ndarray,
+                           ) -> list[tuple[_QuantDense, np.ndarray]]:
+        """Per-dense-layer integer input codes for a float batch.
+
+        Runs one forward pass and captures, for every dense layer, the
+        int64 activation codes that the engine would broadcast on the
+        input bus while evaluating it — the operand streams the
+        cycle-accurate simulator
+        (:class:`~repro.hardware.simulator.CycleAccurateEngine`) needs
+        for data-dependent toggle energy.  Conv/pool layers are skipped
+        (the simulator models the dense MAC schedule); codes are exact
+        regardless of the selected kernel backend.
+        """
+        backend = self._backend
+        codes = backend.quantize_input(x, self.act_fmt)
+        fmt = self.act_fmt
+        captured: list[tuple[_QuantDense, np.ndarray]] = []
+        for layer in self.layers:
+            if isinstance(layer, _QuantDense):
+                captured.append((layer, codes.astype(np.int64)))
+            codes, fmt = layer.forward(codes, fmt, backend)
+        return captured
+
     def accuracy(self, x: np.ndarray, labels: np.ndarray,
                  batch_size: int = DEFAULT_EVAL_BATCH) -> float:
         return batched_accuracy(self.predict, x, labels,

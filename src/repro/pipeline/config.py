@@ -176,6 +176,15 @@ class PipelineConfig:
     backend: str = "auto"
     #: evaluation batch size (memory knob; results are independent of it)
     eval_batch_size: int = DEFAULT_EVAL_BATCH
+    #: simulation-kernel backend for the cycle-accurate toggle simulator
+    #: (same registry and the same bit-identity guarantee as ``backend``,
+    #: so it too is excluded from the stage cache keys)
+    sim_backend: str = "auto"
+    #: test samples the energy stage traces through the cycle-accurate
+    #: simulator for data-dependent toggle energy (0 = analytic model
+    #: only).  Unlike the backends this **changes the energy result**,
+    #: so it is part of the energy stage's cache key.
+    sim_samples: int = 0
 
     # ------------------------------------------------------------------
     def __post_init__(self) -> None:
@@ -240,9 +249,16 @@ class PipelineConfig:
             raise PipelineConfigError(
                 f"unknown backend {self.backend!r}; choose from "
                 f"{BACKEND_NAMES}")
+        if self.sim_backend not in BACKEND_NAMES:
+            raise PipelineConfigError(
+                f"unknown sim_backend {self.sim_backend!r}; choose from "
+                f"{BACKEND_NAMES}")
         if self.eval_batch_size < 1:
             raise PipelineConfigError(
                 f"eval_batch_size must be >= 1, got {self.eval_batch_size}")
+        if self.sim_samples < 0:
+            raise PipelineConfigError(
+                f"sim_samples must be >= 0, got {self.sim_samples}")
         if self.export_design is not None:
             if self.export_design not in self.designs:
                 raise PipelineConfigError(
@@ -324,6 +340,8 @@ class PipelineConfig:
             "cache_dir": self.cache_dir,
             "backend": self.backend,
             "eval_batch_size": self.eval_batch_size,
+            "sim_backend": self.sim_backend,
+            "sim_samples": self.sim_samples,
         }
         return data
 

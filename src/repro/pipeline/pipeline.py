@@ -88,6 +88,10 @@ class Pipeline:
                 needs.append("constrain")
             return tuple(needs)
         if stage == "energy":
+            if self.config.sim_samples:
+                # toggle simulation traces real activations through the
+                # deployed designs, so it needs the trained weights
+                return ("train", "constrain") if has_asm else ("train",)
             # ladder designs resolve their alphabet set while constraining
             return ("constrain",) if has_ladder else ()
         if stage == "export":
@@ -128,12 +132,14 @@ class Pipeline:
     def _stage_deps(self, stage: str, plan: tuple[str, ...]) -> dict:
         """The config slice that determines *stage*'s result.
 
-        ``backend`` and ``eval_batch_size`` are deliberately absent from
-        every slice: kernel backends are bit-identical and accuracy is
-        independent of the evaluation batch size, so runs differing only
-        in those fields share every cache entry (asserted in
-        ``tests/test_kernels.py``).  ``cache_dir`` is location, not
-        content.
+        ``backend``, ``sim_backend`` and ``eval_batch_size`` are
+        deliberately absent from every slice: kernel backends (forward,
+        simulation and projection alike) are bit-identical and accuracy
+        is independent of the evaluation batch size, so runs differing
+        only in those fields share every cache entry (asserted in
+        ``tests/test_kernels.py``).  ``sim_samples`` *does* enter the
+        energy slice — simulated toggle energy is part of that stage's
+        result.  ``cache_dir`` is location, not content.
         """
         cfg = self.config
         tier = cfg.tier()
@@ -165,6 +171,10 @@ class Pipeline:
                 # losses are reported only when quantize ran (see
                 # stage_evaluate), so the plan subset is part of the key
                 deps["with_quantize"] = "quantize" in plan
+            if stage == "energy" and cfg.sim_samples:
+                # added only when nonzero so analytic-only runs keep
+                # their pre-existing cache entries
+                deps["sim_samples"] = cfg.sim_samples
             return deps
         if stage in ("export", "serve-check"):
             deps["export_design"] = cfg.resolved_export_design()

@@ -126,6 +126,12 @@ class EnergyDesignRow:
     energy_per_mac_fj: float = 0.0
     area_um2: float = 0.0       # CSHM cluster area (iso-speed sized)
     latency_us: float = 0.0     # one inference pass at the design clock
+    # cycle-accurate toggle simulation over real test activations
+    # (``config.sim_samples`` > 0; dense layers only — zeros otherwise)
+    sim_energy_nj: float = 0.0  # mean per-inference toggle energy
+    sim_toggles: float = 0.0    # mean bit toggles per inference
+    sim_cycles: int = 0         # simulated engine cycles (data-blind)
+    sim_macs: int = 0           # MACs covered by the simulated layers
 
 
 @dataclass(frozen=True)
@@ -250,6 +256,22 @@ class PipelineContext:
                 f"no retrained weights for design {design!r} - "
                 f"run 'constrain' first") from None
 
+    def conventional_quantized(self) -> QuantizedNetwork:
+        """The conventional-engine lowering of the trained weights
+        (memoized; shared by ``quantize`` and the simulated energy
+        traces — weights are folded at construction, so later model
+        state changes cannot stale it)."""
+        if "conventional" not in self._quantized:
+            if self.train_state is None:
+                raise StageError(
+                    "the conventional deployment needs 'train' to have run")
+            model = self.model
+            model.load_state(self.train_state)
+            self._quantized["conventional"] = QuantizedNetwork.from_float(
+                model, QuantizationSpec(self.bits),
+                backend=self.config.backend)
+        return self._quantized["conventional"]
+
     def design_quantized(self, design: str) -> QuantizedNetwork:
         """The deployable quantised network of *design* (memoized).
 
@@ -305,14 +327,10 @@ def stage_quantize(ctx: PipelineContext) -> QuantizeResult:
     """Baseline accuracy J through the conventional quantised engine."""
     if ctx.train_state is None:
         raise StageError("'quantize' needs 'train' to have run")
-    model = ctx.model
-    model.load_state(ctx.train_state)
     _, x_test = ctx.arrays()
-    baseline = QuantizedNetwork.from_float(
-        model, QuantizationSpec(ctx.bits),
-        backend=ctx.config.backend).accuracy(
-            x_test, ctx.dataset.y_test,
-            batch_size=ctx.config.eval_batch_size)
+    baseline = ctx.conventional_quantized().accuracy(
+        x_test, ctx.dataset.y_test,
+        batch_size=ctx.config.eval_batch_size)
     return QuantizeResult(bits=ctx.bits, baseline_accuracy=baseline)
 
 
@@ -336,11 +354,13 @@ def stage_constrain(ctx: PipelineContext) -> ConstrainResult:
             plan = ctx.design_plan(design)
             projector = ConstraintProjector(
                 model, ctx.bits, layer_plan=plan,
-                mode=ctx.config.constraint_mode)
+                mode=ctx.config.constraint_mode,
+                backend=ctx.config.backend)
         else:
             projector = ConstraintProjector(
                 model, ctx.bits, standard_set(kind),
-                mode=ctx.config.constraint_mode)
+                mode=ctx.config.constraint_mode,
+                backend=ctx.config.backend)
         optimizer = SGD(model, settings.learning_rate
                         * settings.retrain_lr_scale)
         retrainer = constrained_trainer(
@@ -422,10 +442,18 @@ def stage_evaluate(ctx: PipelineContext) -> EvaluateResult:
 
 
 def stage_energy(ctx: PipelineContext) -> EnergyResult:
-    """CSHM-engine per-inference energy per design (architecture-only)."""
+    """CSHM-engine per-inference energy per design.
+
+    Always reports the analytic (architecture-only) model; when
+    ``config.sim_samples`` > 0 each design's dense layers are also traced
+    through the cycle-accurate toggle simulator on that many real test
+    activations (``config.sim_backend`` picks the bit-identical fast or
+    reference counting kernel), exposing the data-dependent energy the
+    analytic model averages away.
+    """
     topology = ctx.model.topology()
     n_layers = len(ctx.model.trainable_layers)
-    engine = ProcessingEngine(ctx.bits)
+    engine = ProcessingEngine(ctx.bits, sim_backend=ctx.config.sim_backend)
     conventional = engine.run(topology, layer_alphabets=[None] * n_layers)
     rows: list[EnergyDesignRow] = []
     for design in ctx.config.designs:
@@ -434,13 +462,51 @@ def stage_energy(ctx: PipelineContext) -> EnergyResult:
         else:
             report = engine.run(topology,
                                 layer_alphabets=ctx.design_plan(design))
+        sim = _simulate_design_energy(ctx, engine, design) \
+            if ctx.config.sim_samples else {}
         rows.append(EnergyDesignRow(
             design=design, label=report.design_label,
             energy_nj=report.energy_nj, cycles=report.cycles,
             normalized=report.energy_nj / conventional.energy_nj,
             energy_per_mac_fj=report.energy_per_mac_fj,
-            area_um2=report.area_um2, latency_us=report.latency_us))
+            area_um2=report.area_um2, latency_us=report.latency_us,
+            **sim))
     return EnergyResult(rows=tuple(rows))
+
+
+def _simulate_design_energy(ctx: PipelineContext, engine: ProcessingEngine,
+                            design: str) -> dict:
+    """Toggle-level energy of *design* over ``sim_samples`` test inputs."""
+    quantized = ctx.conventional_quantized() if design == "conventional" \
+        else ctx.design_quantized(design)
+    _, x_test = ctx.arrays()
+    batch = x_test[:ctx.config.sim_samples]
+    n_samples = len(batch)
+    if not n_samples:
+        return {}
+    energy_nj = 0.0
+    toggles = 0
+    cycles = 0
+    macs = 0
+    for layer, codes in quantized.dense_layer_inputs(batch):
+        aset = AlphabetSet(layer.alphabets) \
+            if layer.alphabets is not None else None
+        simulator = engine.simulator(aset)
+        effective = simulator.remap_weights(layer.w_int)
+        for sample in codes:
+            trace = simulator.run_layer(effective, sample,
+                                        name=layer.name or "dense",
+                                        remapped=True)
+            energy_nj += trace.energy_nj
+            toggles += trace.toggles.total
+        cycles += trace.cycles          # data-independent per layer
+        macs += trace.macs
+    return {
+        "sim_energy_nj": energy_nj / n_samples,
+        "sim_toggles": toggles / n_samples,
+        "sim_cycles": cycles,
+        "sim_macs": macs,
+    }
 
 
 def stage_export(ctx: PipelineContext) -> ExportResult:

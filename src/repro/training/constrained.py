@@ -19,7 +19,8 @@ import numpy as np
 
 from repro.asm.alphabet import AlphabetSet
 from repro.asm.constraints import WeightConstrainer
-from repro.fixedpoint.qformat import qformat_for_range
+from repro.kernels import get_backend, quantize_constrain
+from repro.kernels.registry import KernelBackend
 from repro.nn.layers import Conv2D, Dense, ScaledAvgPool2D
 from repro.nn.network import Sequential
 from repro.nn.optim import SGD
@@ -57,15 +58,25 @@ class ConstraintProjector:
     mode:
         Constraint rounding mode (``"greedy"`` = Algorithm 1, or
         ``"nearest"``).
+    backend:
+        Projection-kernel backend (:mod:`repro.kernels`): ``"reference"``
+        re-runs the original quantise → constrain → dequantise sequence,
+        ``"fast"`` (the ``"auto"`` default) runs the fused in-place pass
+        with memoized per-layer formats and buffers.  Bit-identical
+        results either way — the projection runs after **every**
+        optimiser step, so this is the retraining hot-loop speed knob
+        (see ``BENCH_training.json``).
     """
 
     def __init__(self, network: Sequential, bits: int,
                  alphabet_set: AlphabetSet | None = None,
                  layer_plan: list[AlphabetSet | None] | None = None,
-                 mode: str = "greedy") -> None:
+                 mode: str = "greedy",
+                 backend: str | KernelBackend = "auto") -> None:
         self.network = network
         self.bits = bits
         self.mode = mode
+        self._kernel = get_backend(backend)
         param_layers = [layer for layer in network.layers
                         if weight_param_name(layer) is not None]
         if layer_plan is None:
@@ -88,18 +99,27 @@ class ConstraintProjector:
                 constrainer_cache[key] = WeightConstrainer(
                     bits, aset, mode=mode)
             self._targets.append(
-                (layer, weight_param_name(layer), constrainer_cache[key]))
+                (layer, weight_param_name(layer), constrainer_cache[key],
+                 {}))   # per-target kernel cache (memoized fmt + buffers)
 
     # ------------------------------------------------------------------
+    @property
+    def backend(self) -> str:
+        """Name of the selected projection-kernel backend."""
+        return self._kernel.name
+
     def project(self) -> None:
-        """Snap every constrained weight tensor onto its supported grid."""
-        for layer, param, constrainer in self._targets:
-            weights = layer.params[param]
-            max_abs = float(np.max(np.abs(weights))) if weights.size else 1.0
-            fmt = qformat_for_range(self.bits, max(max_abs, 1e-12))
-            ints = constrainer.constrain_array(fmt.quantize_array(weights))
-            layer.params[param] = fmt.to_float_array(ints).reshape(
-                weights.shape)
+        """Snap every constrained weight tensor onto its supported grid.
+
+        Dispatches to the backend's projection kernel
+        (:meth:`~repro.kernels.registry.KernelBackend.project_weights`);
+        every backend implements the same quantise → constrain →
+        dequantise round trip (reference semantics:
+        :func:`repro.kernels.quantize_constrain`).
+        """
+        for layer, param, constrainer, cache in self._targets:
+            layer.params[param] = self._kernel.project_weights(
+                layer.params[param], self.bits, constrainer, cache)
 
     __call__ = project
 
@@ -111,13 +131,10 @@ class ConstraintProjector:
         """Count weights currently off their supported grid (0 right after
         a projection — the invariant the tests check)."""
         total = 0
-        for layer, param, constrainer in self._targets:
-            weights = layer.params[param]
-            max_abs = float(np.max(np.abs(weights))) if weights.size else 1.0
-            fmt = qformat_for_range(self.bits, max(max_abs, 1e-12))
-            ints = fmt.quantize_array(weights)
-            total += int(np.count_nonzero(
-                constrainer.constrain_array(ints) != ints))
+        for layer, param, constrainer, _ in self._targets:
+            _, ints, constrained = quantize_constrain(
+                layer.params[param], self.bits, constrainer)
+            total += int(np.count_nonzero(constrained != ints))
         return total
 
 

@@ -101,8 +101,9 @@ class DesignMethodology:
         self.patience = patience
         self.constraint_mode = constraint_mode
         self.seed = seed
-        #: kernel backend for the K-measurements (bit-identical across
-        #: backends; the pipeline passes its configured one through)
+        #: kernel backend for the K-measurements and the per-step weight
+        #: projection (bit-identical across backends; the pipeline passes
+        #: its configured one through)
         self.backend = backend
         #: evaluation batch size for the K-measurements (``None`` = the
         #: kernels default); memory knob only
@@ -180,7 +181,7 @@ class DesignMethodology:
             network.load_state(restore_point)
             projector = ConstraintProjector(
                 network, self.bits, alphabet_set,
-                mode=self.constraint_mode)
+                mode=self.constraint_mode, backend=self.backend)
             optimizer = SGD(
                 network, self.base_learning_rate * self.retrain_lr_scale)
             trainer = constrained_trainer(
