@@ -9,9 +9,11 @@ Each bench writes its table to ``results/`` and prints it, so running with
 
 import json
 import os
+import socket
 
 import pytest
 
+import repro
 from repro.experiments.config import Budget
 
 #: Budget used by training-backed benches.
@@ -39,8 +41,13 @@ def emit_json(name: str, results: dict, version: int = 1) -> str:
     envelope and writes it at the repo root (next to the text tables'
     ``emit``), where the CI perf-smoke jobs and the perf trajectory
     tooling expect it.  Returns the path written.
+
+    Every payload carries ``host`` and ``repro_version`` so numbers from
+    different machines / releases are never compared blindly.
     """
     payload = {"format": f"repro-bench/{name}/{version}",
+               "host": socket.gethostname(),
+               "repro_version": repro.__version__,
                "results": results}
     path = os.path.join(REPO_ROOT, f"BENCH_{name}.json")
     with open(path, "w") as handle:

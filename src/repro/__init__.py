@@ -51,12 +51,19 @@ Subpackages
 ``repro.serving``
     Deployment stack: versioned compiled-model artifacts, a multi-model
     registry, dynamic micro-batching and an HTTP inference server that
-    reports the paper's energy story live.
+    reports the paper's energy story live (JSON ``/stats`` +
+    Prometheus ``/metrics``).
+``repro.obs``
+    Unified observability: thread-safe metrics registry (counters /
+    gauges / histograms with interpolated quantiles, JSON + Prometheus
+    exports), nestable tracing spans (wall/CPU/peak-RSS) streamed to
+    Chrome-compatible JSONL (``repro run --trace``, ``repro stats``),
+    and no-op-when-disabled profiling hooks at every hot boundary.
 ``repro.utils``
     Shared utilities (JSON serialization of result objects).
 """
 
-__version__ = "1.4.0"
+__version__ = "1.6.0"
 
 __all__ = ["__version__", "PipelineConfig", "Pipeline", "PipelineReport",
            "run_pipeline", "SearchSpace", "ExplorationReport",

@@ -4,9 +4,11 @@ One console entry point for the whole flow::
 
     repro run examples/configs/digits_quick.json   # declarative pipeline
     repro run cfg.json --seeds 0,1,2 --jobs 3      # multi-seed, parallel
+    repro run cfg.json --trace out.jsonl           # traced run (repro.obs)
     repro experiment fig7 --full                   # paper tables/figures
     repro explore examples/configs/digits_explore.toml --jobs 4
     repro serve results/artifacts/mnist_mlp-asm2   # HTTP inference server
+    repro stats out.jsonl                          # span tree + metrics
     repro list                                     # what exists
 
 ``repro run`` executes :class:`~repro.pipeline.config.PipelineConfig`
@@ -50,6 +52,28 @@ def _parse_seeds(text: str | None) -> tuple[int, ...] | None:
     return seeds
 
 
+def _start_trace(trace_path: str | None) -> bool:
+    """Enable :mod:`repro.obs` when ``--trace`` was given."""
+    if trace_path is None:
+        return False
+    from repro import obs
+
+    obs.enable(trace_path=trace_path)
+    return True
+
+
+def _finish_trace(args: argparse.Namespace, tracing: bool) -> None:
+    """Flush/close the trace file and tell the user where it went."""
+    if not tracing:
+        return
+    from repro import obs
+
+    obs.disable()
+    if not getattr(args, "quiet", False):
+        print(f"[trace written to {args.trace}; inspect with "
+              f"`repro stats {args.trace}`]")
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     from repro.explore.executor import run_pipeline_jobs
     from repro.pipeline.pipeline import Pipeline
@@ -57,6 +81,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
     from repro.pipeline.stages import StageError
     from repro.utils.serialization import write_json
 
+    tracing = _start_trace(args.trace)
     try:
         stages = tuple(s for s in args.stages.split(",") if s) \
             if args.stages else None
@@ -101,6 +126,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
     except (PipelineConfigError, StageError, OSError, ValueError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 1
+    finally:
+        _finish_trace(args, tracing)
     return 0
 
 
@@ -127,6 +154,7 @@ def _cmd_explore(args: argparse.Namespace) -> int:
     )
     from repro.pipeline.stages import StageError
 
+    tracing = _start_trace(args.trace)
     try:
         space = SearchSpace.load(args.space)
         if args.backend is not None or args.sim_backend is not None:
@@ -148,6 +176,8 @@ def _cmd_explore(args: argparse.Namespace) -> int:
             ValueError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 1
+    finally:
+        _finish_trace(args, tracing)
     if not args.quiet:
         print()
     print(format_exploration_report(report))
@@ -172,6 +202,36 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.serving.server import main as serve_main
 
     return serve_main(args.args)
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    from repro.obs.stats import (
+        TraceError,
+        format_metric_table,
+        format_span_tree,
+        load_trace,
+        write_chrome_trace,
+    )
+
+    try:
+        trace = load_trace(args.trace)
+    except (TraceError, OSError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    meta = trace.meta
+    print(f"trace: {args.trace} (format {meta['format']}, "
+          f"repro {meta.get('repro_version', '?')}, "
+          f"{len(trace.events)} spans)")
+    print()
+    print(format_span_tree(trace, max_depth=args.depth))
+    if not args.no_metrics:
+        print()
+        print(format_metric_table(trace))
+    if args.chrome:
+        path = write_chrome_trace(trace, args.chrome)
+        print(f"\n[wrote Chrome trace {path}; open via chrome://tracing "
+              f"or https://ui.perfetto.dev]")
+    return 0
 
 
 def _cmd_list(args: argparse.Namespace) -> int:
@@ -255,6 +315,9 @@ def build_parser() -> argparse.ArgumentParser:
                      help="worker processes for multi-config/seed runs")
     run.add_argument("--json", default=None, metavar="PATH",
                      help="also write the report(s) as JSON to PATH")
+    run.add_argument("--trace", default=None, metavar="PATH",
+                     help="record a repro.obs span/metrics trace to PATH "
+                          "(JSONL; render with `repro stats PATH`)")
     run.add_argument("--quiet", action="store_true",
                      help="suppress per-stage progress lines")
     run.set_defaults(func=_cmd_run)
@@ -304,6 +367,10 @@ def build_parser() -> argparse.ArgumentParser:
                               "in the serving model registry")
     explore.add_argument("--json", default=None, metavar="PATH",
                          help="also write the ExplorationReport to PATH")
+    explore.add_argument("--trace", default=None, metavar="PATH",
+                         help="record a repro.obs span/metrics trace to "
+                              "PATH (parent process only; workers run "
+                              "untraced)")
     explore.add_argument("--quiet", action="store_true",
                          help="suppress per-candidate progress lines")
     explore.set_defaults(func=_cmd_explore)
@@ -314,6 +381,20 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("args", nargs=argparse.REMAINDER,
                        help="arguments passed to the serving front end")
     serve.set_defaults(func=_cmd_serve)
+
+    stats = sub.add_parser(
+        "stats", help="render a --trace file: span tree, metric table, "
+                      "optional Chrome trace export")
+    stats.add_argument("trace", help="path to a repro-trace JSONL file "
+                                     "(from repro run/explore --trace)")
+    stats.add_argument("--depth", type=int, default=None, metavar="N",
+                       help="limit the span tree to N levels")
+    stats.add_argument("--no-metrics", action="store_true",
+                       help="skip the metric table")
+    stats.add_argument("--chrome", default=None, metavar="OUT.json",
+                       help="also convert the spans to a Chrome "
+                            "trace-event JSON file for chrome://tracing")
+    stats.set_defaults(func=_cmd_stats)
 
     lst = sub.add_parser(
         "list", help="list stages, designs, benchmarks, experiments, "

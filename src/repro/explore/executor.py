@@ -22,8 +22,10 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import time
 from collections.abc import Callable, Sequence
 
+from repro import obs
 from repro.explore.journal import RECORD_FORMAT, ExplorationJournal
 from repro.pipeline.config import PipelineConfig
 from repro.pipeline.pipeline import Pipeline
@@ -98,7 +100,9 @@ def evaluate_candidate(config: PipelineConfig,
     ``cached_stages`` is *not* recorded — which stages happened to be
     warm differs between serial and parallel runs of the same space).
     """
-    report = Pipeline(config).run(resume=resume)
+    with obs.span("explore.candidate", design=config.designs[0],
+                  seed=config.seed, digest=config.digest()[:12]):
+        report = Pipeline(config).run(resume=resume)
     design = config.designs[0]
     eval_row = report.require("evaluate").row_for(design)
     config_dict = config.to_dict()
@@ -122,7 +126,13 @@ def evaluate_candidate(config: PipelineConfig,
 def _candidate_worker(payload) -> tuple[int, dict]:
     index, config_dict, resume = payload
     config = PipelineConfig.from_dict(config_dict)
-    return index, evaluate_candidate(config, resume=resume)
+    started = time.perf_counter()
+    record = evaluate_candidate(config, resume=resume)
+    # the record itself must stay deterministic (it is journaled and
+    # compared bit-for-bit between serial and parallel runs), so timing
+    # rides alongside it and is stripped off by ``run_candidates``
+    return index, {"record": record,
+                   "elapsed_s": time.perf_counter() - started}
 
 
 def run_candidates(configs: Sequence[PipelineConfig],
@@ -132,29 +142,45 @@ def run_candidates(configs: Sequence[PipelineConfig],
     """Evaluate *configs*, reusing journal records where possible.
 
     Returns ``(records, stats)`` with records in candidate order and
-    ``stats = {"candidates", "journal_hits", "evaluated"}``.  With
-    ``resume=False`` both the journal and the pipeline stage cache are
-    ignored (and then rewritten).
+    ``stats = {"candidates", "journal_hits", "evaluated", "elapsed_s",
+    "utilization"}`` — ``elapsed_s`` sums the workers' per-candidate
+    wall time and ``utilization`` is that busy time over the pool's
+    capacity (``jobs``  × the fan-out wall time), the explorer's
+    worker-utilization figure.  With ``resume=False`` both the journal
+    and the pipeline stage cache are ignored (and then rewritten).
     """
     records: dict[int, dict] = {}
     pending: list[tuple[int, dict, bool]] = []
+    telemetry = obs.enabled()
     for index, config in enumerate(configs):
         digest = config.digest()
         cached = journal.load_record(digest) if (journal is not None
                                                 and resume) else None
         if cached is not None:
             records[index] = cached
+            if telemetry:
+                obs.registry().counter("explore.journal_hits").inc()
             if verbose:
                 print(f"[{index + 1}/{len(configs)}] "
                       f"{config.designs[0]} seed={config.seed}: journal hit")
         else:
             pending.append((index, config.to_dict(), resume))
 
+    busy = [0.0]
+
     def landed(item) -> None:
-        index, record = item
+        index, outcome = item
+        record = outcome["record"]
+        busy[0] += outcome["elapsed_s"]
         records[index] = record
         if journal is not None:
             journal.write_record(record)
+            if telemetry:
+                obs.registry().counter("explore.journal_writes").inc()
+        if telemetry:
+            obs.registry().counter("explore.candidates_evaluated").inc()
+            obs.registry().histogram("explore.candidate_seconds").observe(
+                outcome["elapsed_s"])
         if verbose:
             metrics = record["metrics"]
             print(f"[{index + 1}/{len(configs)}] {record['design']} "
@@ -162,11 +188,24 @@ def run_candidates(configs: Sequence[PipelineConfig],
                   f"accuracy={metrics['accuracy'] * 100:.2f}% "
                   f"energy={metrics['energy_nj']:.1f}nJ")
 
-    pool_map(_candidate_worker, pending, jobs, on_result=landed)
+    workers = max(1, min(jobs, len(pending)) if pending else 1)
+    with obs.span("explore.map", candidates=len(configs),
+                  pending=len(pending), jobs=workers) as map_span:
+        started = time.perf_counter()
+        pool_map(_candidate_worker, pending, jobs, on_result=landed)
+        wall = time.perf_counter() - started
+        utilization = (busy[0] / (workers * wall)
+                       if pending and wall > 0 else 0.0)
+        map_span.set(utilization=round(utilization, 3))
+    if telemetry:
+        obs.registry().gauge("explore.workers").set(workers)
+        obs.registry().gauge("explore.worker_utilization").set(utilization)
     stats = {
         "candidates": len(configs),
         "journal_hits": len(configs) - len(pending),
         "evaluated": len(pending),
+        "elapsed_s": busy[0],
+        "utilization": utilization,
     }
     return [records[index] for index in sorted(records)], stats
 

@@ -115,7 +115,7 @@ def _sensitivity_search(space: SearchSpace, cache_dir: str | None,
         new_records, new_stats = run_candidates(
             configs, journal=journal, jobs=jobs, resume=resume,
             verbose=verbose)
-        for key in ("candidates", "journal_hits", "evaluated"):
+        for key in ("candidates", "journal_hits", "evaluated", "elapsed_s"):
             stats[key] += new_stats[key]
         records.extend(new_records)
         return new_records

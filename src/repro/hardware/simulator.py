@@ -30,10 +30,12 @@ weight remap and the energy model; the kernels own the counting.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 
 import numpy as np
 
+from repro import obs
 from repro.asm.alphabet import AlphabetSet
 from repro.asm.multiplier import AlphabetSetMultiplier
 from repro.kernels import get_backend
@@ -174,8 +176,15 @@ class CycleAccurateEngine:
             )
         fan_in, neurons = weights.shape
 
-        counts = self._kernel.simulate_layer(weights, inputs, self.units,
-                                             self.bank_multiples)
+        if obs.enabled():
+            started = time.perf_counter()
+            counts = self._kernel.simulate_layer(
+                weights, inputs, self.units, self.bank_multiples)
+            obs.record_kernel(self._kernel.name, "simulate_layer",
+                              time.perf_counter() - started)
+        else:
+            counts = self._kernel.simulate_layer(
+                weights, inputs, self.units, self.bank_multiples)
         toggles = counts.toggles
         energy_fj = sum(toggles[key] * self.energy_per_toggle_fj[key]
                         for key in toggles)

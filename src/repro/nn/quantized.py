@@ -26,9 +26,11 @@ speed.
 from __future__ import annotations
 
 import copy
+import time
 
 import numpy as np
 
+from repro import obs
 from repro.asm.alphabet import AlphabetSet
 from repro.asm.constraints import WeightConstrainer
 from repro.asm.multiplier import (
@@ -206,7 +208,7 @@ class _QuantDense(_QuantLayer):
         return quant
 
     def forward(self, x, x_fmt, backend=None):
-        return (backend or _REFERENCE).dense(self, x, x_fmt)
+        return _dispatch((backend or _REFERENCE), "dense", self, x, x_fmt)
 
 
 class _QuantConv(_QuantLayer):
@@ -238,7 +240,7 @@ class _QuantConv(_QuantLayer):
         return quant
 
     def forward(self, x, x_fmt, backend=None):
-        return (backend or _REFERENCE).conv(self, x, x_fmt)
+        return _dispatch((backend or _REFERENCE), "conv", self, x, x_fmt)
 
 
 class _QuantPool(_QuantLayer):
@@ -271,7 +273,7 @@ class _QuantPool(_QuantLayer):
         return quant
 
     def forward(self, x, x_fmt, backend=None):
-        return (backend or _REFERENCE).pool(self, x, x_fmt)
+        return _dispatch((backend or _REFERENCE), "pool", self, x, x_fmt)
 
 
 class _QuantFlatten(_QuantLayer):
@@ -287,6 +289,24 @@ class _QuantFlatten(_QuantLayer):
 
 #: Default dispatch target when a layer is driven without a network.
 _REFERENCE = get_backend("reference")
+
+
+def _dispatch(backend, kernel: str, layer, x, x_fmt):
+    """Run one forward kernel, accounting the call when obs is enabled.
+
+    The disabled path costs one boolean check (<1% on the kernels
+    micro-bench, enforced by ``benchmarks/bench_obs_overhead.py``); the
+    enabled path records per-(backend, kernel) call counts and
+    cumulative seconds into ``kernels.calls`` / ``kernels.seconds``.
+    """
+    fn = getattr(backend, kernel)
+    if not obs.enabled():
+        return fn(layer, x, x_fmt)
+    started = time.perf_counter()
+    out = fn(layer, x, x_fmt)
+    obs.record_kernel(backend.name, kernel,
+                      time.perf_counter() - started)
+    return out
 
 
 class QuantizedNetwork:

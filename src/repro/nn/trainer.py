@@ -17,6 +17,7 @@ from typing import Callable
 
 import numpy as np
 
+from repro import obs
 from repro.nn.losses import Loss, get_loss
 from repro.nn.network import Sequential
 from repro.nn.optim import SGD
@@ -100,9 +101,12 @@ class Trainer:
         best_state = None
         stale_epochs = 0
         for epoch in range(max_epochs):
-            self.optimizer.set_epoch(epoch)
-            loss_value = self.train_epoch(x, y_onehot)
-            accuracy = self.network.accuracy(x_val, y_val_labels)
+            with obs.span("train.epoch", epoch=epoch) as epoch_span:
+                self.optimizer.set_epoch(epoch)
+                loss_value = self.train_epoch(x, y_onehot)
+                accuracy = self.network.accuracy(x_val, y_val_labels)
+                epoch_span.set(loss=round(loss_value, 6),
+                               accuracy=round(accuracy, 6))
             history.losses.append(loss_value)
             history.accuracies.append(accuracy)
             if verbose:  # pragma: no cover - console noise

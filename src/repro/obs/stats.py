@@ -1,0 +1,206 @@
+"""Read back ``repro-trace/1`` files: span trees, metric tables, Chrome.
+
+``repro stats out.jsonl`` is a thin CLI over this module:
+
+* :func:`load_trace` parses a trace JSONL file into a :class:`TraceFile`
+  (meta header, span-event forest, final metrics snapshot);
+* :func:`format_span_tree` renders the forest as an indented table of
+  wall / CPU / RSS per span;
+* :func:`format_metric_table` renders the metrics snapshot;
+* :func:`write_chrome_trace` converts the span lines into the Chrome
+  trace-event JSON **array** format that ``chrome://tracing`` and
+  Perfetto load directly.
+
+The line schema is documented in :mod:`repro.obs.tracing` and
+``docs/observability.md``; :func:`load_trace` validates it and raises
+:class:`TraceError` with the offending line number on any violation.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from repro.obs.tracing import TRACE_FORMAT
+
+__all__ = ["TraceError", "SpanNode", "TraceFile", "load_trace",
+           "format_span_tree", "format_metric_table", "write_chrome_trace"]
+
+#: Keys every span line must carry (the documented schema).
+SPAN_KEYS = ("name", "id", "parent", "ph", "ts", "dur", "pid", "tid",
+             "cpu_ms", "rss_peak_kb", "args")
+
+
+class TraceError(ValueError):
+    """A trace file does not match the ``repro-trace/1`` schema."""
+
+
+@dataclass
+class SpanNode:
+    """One span event, re-linked into a tree."""
+
+    event: dict
+    children: list["SpanNode"] = field(default_factory=list)
+
+    @property
+    def name(self) -> str:
+        return self.event["name"]
+
+    @property
+    def wall_ms(self) -> float:
+        return self.event["dur"] / 1e3
+
+    @property
+    def cpu_ms(self) -> float:
+        return self.event["cpu_ms"]
+
+
+@dataclass
+class TraceFile:
+    """A fully parsed trace: header, span forest, metrics snapshot."""
+
+    meta: dict
+    roots: list[SpanNode]
+    events: list[dict]              # span events in file order
+    metrics: list[dict]             # rows of the final metrics snapshot
+
+    def span_names(self) -> set[str]:
+        return {event["name"] for event in self.events}
+
+
+def load_trace(path: str) -> TraceFile:
+    """Parse and validate one ``repro-trace/1`` JSONL file."""
+    meta: dict | None = None
+    events: list[dict] = []
+    metrics: list[dict] = []
+    with open(path) as handle:
+        for lineno, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                payload = json.loads(line)
+            except json.JSONDecodeError as error:
+                raise TraceError(
+                    f"{path}:{lineno}: not valid JSON: {error}") from None
+            kind = payload.get("type")
+            if lineno == 1:
+                if kind != "meta" or payload.get("format") != TRACE_FORMAT:
+                    raise TraceError(
+                        f"{path}:1: expected a {TRACE_FORMAT!r} meta line, "
+                        f"got {line[:80]!r}")
+                meta = payload
+            elif kind == "span":
+                missing = [key for key in SPAN_KEYS if key not in payload]
+                if missing:
+                    raise TraceError(
+                        f"{path}:{lineno}: span line missing {missing}")
+                events.append(payload)
+            elif kind == "metrics":
+                metrics = payload.get("metrics", [])
+            else:
+                raise TraceError(
+                    f"{path}:{lineno}: unknown line type {kind!r}")
+    if meta is None:
+        raise TraceError(f"{path}: empty trace file")
+    return TraceFile(meta=meta, roots=_link(events), events=events,
+                     metrics=metrics)
+
+
+def _link(events: list[dict]) -> list[SpanNode]:
+    """Rebuild the span forest from ``id``/``parent`` references."""
+    nodes = {event["id"]: SpanNode(event) for event in events}
+    roots: list[SpanNode] = []
+    for event in events:               # file order = finish order
+        node = nodes[event["id"]]
+        parent = nodes.get(event["parent"])
+        if parent is None:
+            roots.append(node)
+        else:
+            parent.children.append(node)
+    for node in nodes.values():        # children run (and finish) first
+        node.children.sort(key=lambda child: child.event["ts"])
+    roots.sort(key=lambda root: root.event["ts"])
+    return roots
+
+
+# ----------------------------------------------------------------------
+# rendering
+# ----------------------------------------------------------------------
+def _attr_text(args: dict) -> str:
+    if not args:
+        return ""
+    inner = ", ".join(f"{key}={value}" for key, value in args.items())
+    return f"  [{inner}]"
+
+
+def format_span_tree(trace: TraceFile, max_depth: int | None = None) -> str:
+    """Indented per-span table: wall ms, CPU ms, peak RSS, attributes."""
+    lines = [f"{'span':<44} {'wall_ms':>10} {'cpu_ms':>10} "
+             f"{'rss_peak_mb':>12}",
+             "-" * 78]
+
+    def walk(node: SpanNode, depth: int) -> None:
+        if max_depth is not None and depth > max_depth:
+            return
+        event = node.event
+        label = "  " * depth + event["name"]
+        if event.get("error"):
+            label += f" !{event['error']}"
+        lines.append(
+            f"{label:<44} {event['dur'] / 1e3:>10.2f} "
+            f"{event['cpu_ms']:>10.2f} "
+            f"{event['rss_peak_kb'] / 1024:>12.1f}"
+            f"{_attr_text(event.get('args', {}))}")
+        for child in node.children:
+            walk(child, depth + 1)
+
+    for root in trace.roots:
+        walk(root, 0)
+    if len(lines) == 2:
+        lines.append("(no spans)")
+    return "\n".join(lines)
+
+
+def format_metric_table(trace: TraceFile) -> str:
+    """The final metrics snapshot as an aligned name/labels/value table."""
+    if not trace.metrics:
+        return "(no metrics snapshot in trace)"
+    lines = [f"{'metric':<34} {'labels':<34} {'value':>14}", "-" * 84]
+    for row in trace.metrics:
+        labels = ",".join(f"{key}={value}"
+                          for key, value in sorted(row["labels"].items()))
+        if row["kind"] == "histogram":
+            value = (f"n={row['count']} mean={row['mean']:.4g} "
+                     f"p50={row['p50']:.4g} p95={row['p95']:.4g} "
+                     f"p99={row['p99']:.4g}")
+            lines.append(f"{row['name']:<34} {labels:<34} {value}")
+        else:
+            lines.append(f"{row['name']:<34} {labels:<34} "
+                         f"{row['value']:>14.6g}")
+    return "\n".join(lines)
+
+
+def write_chrome_trace(trace: TraceFile, out_path: str) -> str:
+    """Write the span events as a Chrome trace-event JSON array.
+
+    The output opens directly in ``chrome://tracing`` / Perfetto: each
+    span becomes a complete ("ph": "X") event; the extra repro keys ride
+    along inside ``args`` where the viewers display them.
+    """
+    chrome_events = []
+    for event in trace.events:
+        args = dict(event.get("args", {}))
+        args.update({"cpu_ms": event["cpu_ms"],
+                     "rss_peak_kb": event["rss_peak_kb"]})
+        if event.get("error"):
+            args["error"] = event["error"]
+        chrome_events.append({
+            "name": event["name"], "ph": "X", "ts": event["ts"],
+            "dur": event["dur"], "pid": event["pid"], "tid": event["tid"],
+            "cat": "repro", "args": args,
+        })
+    with open(out_path, "w") as handle:
+        json.dump({"traceEvents": chrome_events,
+                   "displayTimeUnit": "ms"}, handle)
+    return out_path

@@ -37,6 +37,7 @@ import hashlib
 import json
 import os
 
+from repro import obs
 from repro.asm.alphabet import standard_set
 from repro.pipeline.config import STAGE_NAMES, PipelineConfig
 from repro.pipeline.report import STAGE_ATTRS, PipelineReport
@@ -315,32 +316,52 @@ class Pipeline:
             else PipelineContext(self.config)
         plan = self.plan(stages)
         cached: list[str] = []
-        for stage in plan:
-            key = self.stage_key(stage, plan)
-            stage_dir = self.stage_cache_dir(stage, plan)
-            result = self._try_load_cached(stage, stage_dir, key, ctx) \
-                if resume else None
-            if result is not None:
-                cached.append(stage)
-                if verbose:
-                    print(f"[{stage}] cached "
-                          f"({os.path.relpath(self._stage_json(stage_dir, stage))})")
-            else:
-                if verbose:
-                    print(f"[{stage}] running ...")
-                try:
-                    result = STAGE_FUNCTIONS[stage](ctx)
-                except StageError as error:
-                    raise StageError(
-                        f"stage {stage!r} failed: {error}") from error
-                self._write_cache(stage, stage_dir, key, ctx, result)
-            ctx.results[stage] = result
+        with obs.span("pipeline.run", app=self.config.app,
+                      digest=self.config.digest()[:12],
+                      stages=",".join(plan)):
+            for stage in plan:
+                with obs.span(f"stage.{stage}") as stage_span:
+                    self._run_stage(stage, plan, ctx, cached,
+                                    resume=resume, verbose=verbose,
+                                    stage_span=stage_span)
         if self.cache_root is not None:
             self._write_run_marker(plan)
         report_kwargs = {STAGE_ATTRS[name]: result
                          for name, result in ctx.results.items()}
         return PipelineReport(config=self.config, stages_run=plan,
                               cached_stages=tuple(cached), **report_kwargs)
+
+    def _run_stage(self, stage: str, plan: tuple[str, ...],
+                   ctx: PipelineContext, cached: list[str], *,
+                   resume: bool, verbose: bool, stage_span) -> None:
+        """Run (or load) one stage inside its tracing span."""
+        key = self.stage_key(stage, plan)
+        stage_dir = self.stage_cache_dir(stage, plan)
+        result = self._try_load_cached(stage, stage_dir, key, ctx) \
+            if resume else None
+        if result is not None:
+            cached.append(stage)
+            stage_span.set(cached=True)
+            if obs.enabled():
+                obs.registry().counter("pipeline.cache.hits",
+                                       stage=stage).inc()
+            if verbose:
+                print(f"[{stage}] cached "
+                      f"({os.path.relpath(self._stage_json(stage_dir, stage))})")
+        else:
+            stage_span.set(cached=False)
+            if obs.enabled():
+                obs.registry().counter("pipeline.cache.misses",
+                                       stage=stage).inc()
+            if verbose:
+                print(f"[{stage}] running ...")
+            try:
+                result = STAGE_FUNCTIONS[stage](ctx)
+            except StageError as error:
+                raise StageError(
+                    f"stage {stage!r} failed: {error}") from error
+            self._write_cache(stage, stage_dir, key, ctx, result)
+        ctx.results[stage] = result
 
 
 def _design_tag(design: str) -> str:

@@ -20,6 +20,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import obs
 from repro.asm.alphabet import AlphabetSet, standard_set
 from repro.datasets.registry import BENCHMARKS, build_model, load_dataset, \
     training_arrays
@@ -347,31 +348,34 @@ def stage_constrain(ctx: PipelineContext) -> ConstrainResult:
         if kind is None:
             continue
         model.load_state(ctx.train_state)
-        if kind == "ladder":
-            outcomes.append(_constrain_ladder(ctx, design))
-            continue
-        if is_plan_design(kind):
-            plan = ctx.design_plan(design)
-            projector = ConstraintProjector(
-                model, ctx.bits, layer_plan=plan,
-                mode=ctx.config.constraint_mode,
-                backend=ctx.config.backend)
-        else:
-            projector = ConstraintProjector(
-                model, ctx.bits, standard_set(kind),
-                mode=ctx.config.constraint_mode,
-                backend=ctx.config.backend)
-        optimizer = SGD(model, settings.learning_rate
-                        * settings.retrain_lr_scale)
-        retrainer = constrained_trainer(
-            model, optimizer, projector,
-            batch_size=settings.batch_size, patience=settings.patience)
-        history = retrainer.fit(x_train, ctx.dataset.y_train_onehot,
-                                x_test, ctx.dataset.y_test,
-                                max_epochs=ctx.tier.retrain_epochs)
-        ctx.design_states[design] = model.state()
-        outcomes.append(DesignOutcome(design=design,
-                                      epochs=history.epochs_run))
+        with obs.span("constrain.design", design=design) as design_span:
+            if kind == "ladder":
+                outcomes.append(_constrain_ladder(ctx, design))
+                design_span.set(epochs=outcomes[-1].epochs)
+                continue
+            if is_plan_design(kind):
+                plan = ctx.design_plan(design)
+                projector = ConstraintProjector(
+                    model, ctx.bits, layer_plan=plan,
+                    mode=ctx.config.constraint_mode,
+                    backend=ctx.config.backend)
+            else:
+                projector = ConstraintProjector(
+                    model, ctx.bits, standard_set(kind),
+                    mode=ctx.config.constraint_mode,
+                    backend=ctx.config.backend)
+            optimizer = SGD(model, settings.learning_rate
+                            * settings.retrain_lr_scale)
+            retrainer = constrained_trainer(
+                model, optimizer, projector,
+                batch_size=settings.batch_size, patience=settings.patience)
+            history = retrainer.fit(x_train, ctx.dataset.y_train_onehot,
+                                    x_test, ctx.dataset.y_test,
+                                    max_epochs=ctx.tier.retrain_epochs)
+            ctx.design_states[design] = model.state()
+            design_span.set(epochs=history.epochs_run)
+            outcomes.append(DesignOutcome(design=design,
+                                          epochs=history.epochs_run))
     return ConstrainResult(outcomes=tuple(outcomes))
 
 
@@ -488,19 +492,20 @@ def _simulate_design_energy(ctx: PipelineContext, engine: ProcessingEngine,
     toggles = 0
     cycles = 0
     macs = 0
-    for layer, codes in quantized.dense_layer_inputs(batch):
-        aset = AlphabetSet(layer.alphabets) \
-            if layer.alphabets is not None else None
-        simulator = engine.simulator(aset)
-        effective = simulator.remap_weights(layer.w_int)
-        for sample in codes:
-            trace = simulator.run_layer(effective, sample,
-                                        name=layer.name or "dense",
-                                        remapped=True)
-            energy_nj += trace.energy_nj
-            toggles += trace.toggles.total
-        cycles += trace.cycles          # data-independent per layer
-        macs += trace.macs
+    with obs.span("energy.simulate", design=design, samples=n_samples):
+        for layer, codes in quantized.dense_layer_inputs(batch):
+            aset = AlphabetSet(layer.alphabets) \
+                if layer.alphabets is not None else None
+            simulator = engine.simulator(aset)
+            effective = simulator.remap_weights(layer.w_int)
+            for sample in codes:
+                trace = simulator.run_layer(effective, sample,
+                                            name=layer.name or "dense",
+                                            remapped=True)
+                energy_nj += trace.energy_nj
+                toggles += trace.toggles.total
+            cycles += trace.cycles          # data-independent per layer
+            macs += trace.macs
     return {
         "sim_energy_nj": energy_nj / n_samples,
         "sim_toggles": toggles / n_samples,

@@ -115,6 +115,14 @@ class MicroBatcher:
         """Synchronous helper: submit and wait for the scores."""
         return self.submit(key, x).result(timeout=timeout)
 
+    def queue_depth(self) -> int:
+        """Requests currently waiting (approximate, like ``qsize``).
+
+        The server's ``/stats`` and ``/metrics`` handlers poll this so
+        snapshots report the live depth rather than the depth at the
+        last submit."""
+        return self._queue.qsize()
+
     def close(self, timeout: float | None = 5.0) -> None:
         """Drain outstanding requests and stop the worker."""
         with self._lock:

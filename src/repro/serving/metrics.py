@@ -4,46 +4,59 @@ The paper's claim is energy per inference; serving reports it live by
 multiplying each model's estimated per-inference energy (from
 :meth:`repro.serving.compiled.CompiledModel.energy_per_inference_nj`, which
 costs the CSHM engine of :mod:`repro.hardware.engine`) by the samples it
-served.  All counters are thread-safe; latency percentiles come from a
-bounded rolling window so a long-lived server stays O(1) in memory.
+served.
+
+Since the :mod:`repro.obs` layer landed, :class:`ServingMetrics` is a
+thin façade over an always-on :class:`~repro.obs.MetricsRegistry`: every
+counter, gauge and histogram lives in the registry (so the same numbers
+come out as JSON via :meth:`snapshot` **and** as the Prometheus text
+format via :meth:`to_prometheus`, served at ``GET /metrics``), and the
+latency/batch-size percentiles use the shared linear-interpolation
+:func:`repro.obs.quantile` — replacing the old nearest-rank-by-
+truncation helper that biased p95/p99 low.  All recording is
+thread-safe; percentiles come from a bounded rolling window so a
+long-lived server stays O(1) in memory.
+
+The registry is private to the server process (not the process-global
+:func:`repro.obs.registry`): request metrics must be on regardless of
+the repo-wide tracing switch.
 """
 
 from __future__ import annotations
 
-import threading
 import time
-from collections import deque
 from typing import Any
+
+from repro.obs import DEFAULT_WINDOW, MetricsRegistry
 
 __all__ = ["ServingMetrics"]
 
 #: Rolling-window size for latency/batch-size percentiles.
-_WINDOW = 2048
-
-
-def _percentile(window: list[float], fraction: float) -> float:
-    if not window:
-        return 0.0
-    ordered = sorted(window)
-    index = min(len(ordered) - 1, int(fraction * len(ordered)))
-    return ordered[index]
+_WINDOW = DEFAULT_WINDOW
 
 
 class ServingMetrics:
-    """Thread-safe counters for one serving process."""
+    """Thread-safe request/batch/energy metrics for one serving process.
 
-    def __init__(self) -> None:
-        self._lock = threading.Lock()
+    Pass a *registry* to share one with other components; by default
+    each instance owns a fresh :class:`~repro.obs.MetricsRegistry`.
+    """
+
+    def __init__(self, registry: MetricsRegistry | None = None) -> None:
+        self.registry = registry if registry is not None \
+            else MetricsRegistry()
         self._started = time.monotonic()
-        self._requests = 0
-        self._samples = 0
-        self._batches = 0
-        self._errors = 0
-        self._energy_nj = 0.0
-        self._latencies: deque[float] = deque(maxlen=_WINDOW)
-        self._batch_sizes: deque[int] = deque(maxlen=_WINDOW)
-        self._queue_depth = 0
-        self._per_model: dict[str, dict[str, float]] = {}
+        reg = self.registry
+        self._requests = reg.counter("serving.requests")
+        self._samples = reg.counter("serving.samples")
+        self._batches = reg.counter("serving.batches")
+        self._errors = reg.counter("serving.errors")
+        self._energy_nj = reg.counter("serving.energy_nj")
+        self._queue_depth = reg.gauge("serving.queue_depth")
+        self._latency = reg.histogram("serving.latency_seconds",
+                                      window=_WINDOW)
+        self._batch_sizes = reg.histogram("serving.batch_size",
+                                          window=_WINDOW)
 
     # ------------------------------------------------------------------
     # recording
@@ -51,71 +64,82 @@ class ServingMetrics:
     def record_request(self, model: str, samples: int, latency_s: float,
                        energy_nj: float | None = None) -> None:
         """One completed predict request of *samples* inputs."""
-        with self._lock:
-            self._requests += 1
-            self._samples += samples
-            self._latencies.append(latency_s)
-            if energy_nj is not None:
-                self._energy_nj += energy_nj
-            slot = self._per_model.setdefault(
-                model, {"requests": 0, "samples": 0, "energy_nj": 0.0})
-            slot["requests"] += 1
-            slot["samples"] += samples
-            if energy_nj is not None:
-                slot["energy_nj"] += energy_nj
+        reg = self.registry
+        self._requests.inc()
+        self._samples.inc(samples)
+        self._latency.observe(latency_s)
+        reg.counter("serving.model_requests", model=model).inc()
+        reg.counter("serving.model_samples", model=model).inc(samples)
+        if energy_nj is not None:
+            self._energy_nj.inc(energy_nj)
+            reg.counter("serving.model_energy_nj", model=model,
+                        ).inc(energy_nj)
 
     def record_batch(self, size: int) -> None:
         """One coalesced forward pass of *size* samples."""
-        with self._lock:
-            self._batches += 1
-            self._batch_sizes.append(size)
+        self._batches.inc()
+        self._batch_sizes.observe(size)
 
     def record_error(self) -> None:
-        with self._lock:
-            self._errors += 1
+        self._errors.inc()
 
     def set_queue_depth(self, depth: int) -> None:
-        with self._lock:
-            self._queue_depth = depth
+        self._queue_depth.set(depth)
 
     # ------------------------------------------------------------------
     # reading
     # ------------------------------------------------------------------
     def snapshot(self) -> dict[str, Any]:
         """JSON-able view of every counter (the ``/stats`` payload)."""
-        with self._lock:
-            uptime = time.monotonic() - self._started
-            latencies = list(self._latencies)
-            batch_sizes = list(self._batch_sizes)
-            return {
-                "uptime_s": round(uptime, 3),
-                "requests_total": self._requests,
-                "samples_total": self._samples,
-                "batches_total": self._batches,
-                "errors_total": self._errors,
-                "queue_depth": self._queue_depth,
-                "throughput_samples_per_s": (
-                    round(self._samples / uptime, 3) if uptime > 0 else 0.0),
-                "latency_ms": {
-                    "mean": round(1e3 * sum(latencies) / len(latencies), 3)
-                    if latencies else 0.0,
-                    "p50": round(1e3 * _percentile(latencies, 0.50), 3),
-                    "p95": round(1e3 * _percentile(latencies, 0.95), 3),
-                    "max": round(1e3 * max(latencies), 3)
-                    if latencies else 0.0,
-                },
-                "batch_size": {
-                    "mean": round(sum(batch_sizes) / len(batch_sizes), 3)
-                    if batch_sizes else 0.0,
-                    "max": max(batch_sizes) if batch_sizes else 0,
-                },
-                "energy": {
-                    "total_nj": round(self._energy_nj, 3),
-                    "total_uj": round(self._energy_nj * 1e-3, 6),
-                    "mean_nj_per_sample": (
-                        round(self._energy_nj / self._samples, 3)
-                        if self._samples else 0.0),
-                },
-                "models": {name: dict(slot)
-                           for name, slot in sorted(self._per_model.items())},
-            }
+        uptime = time.monotonic() - self._started
+        samples = self._samples.value
+        energy_nj = self._energy_nj.value
+        latency = self._latency.summary()
+        batch = self._batch_sizes.summary()
+        per_model: dict[str, dict[str, float]] = {}
+        for row in self.registry.to_dict():
+            name = row["name"]
+            if not name.startswith("serving.model_"):
+                continue
+            slot = per_model.setdefault(
+                row["labels"]["model"],
+                {"requests": 0, "samples": 0, "energy_nj": 0.0})
+            field = name.removeprefix("serving.model_")
+            slot[field] = (int(row["value"]) if field != "energy_nj"
+                           else row["value"])
+        return {
+            "uptime_s": round(uptime, 3),
+            "requests_total": int(self._requests.value),
+            "samples_total": int(samples),
+            "batches_total": int(self._batches.value),
+            "errors_total": int(self._errors.value),
+            "queue_depth": int(self._queue_depth.value),
+            "throughput_samples_per_s": (
+                round(samples / uptime, 3) if uptime > 0 else 0.0),
+            "latency_ms": {
+                "mean": round(1e3 * latency["mean"], 3),
+                "p50": round(1e3 * latency["p50"], 3),
+                "p95": round(1e3 * latency["p95"], 3),
+                "p99": round(1e3 * latency["p99"], 3),
+                "max": round(1e3 * latency["max"], 3),
+            },
+            "batch_size": {
+                "mean": round(batch["mean"], 3),
+                "p50": round(batch["p50"], 3),
+                "p95": round(batch["p95"], 3),
+                "max": int(batch["max"]),
+            },
+            "energy": {
+                "total_nj": round(energy_nj, 3),
+                "total_uj": round(energy_nj * 1e-3, 6),
+                "mean_nj_per_sample": (
+                    round(energy_nj / samples, 3) if samples else 0.0),
+            },
+            "models": {name: dict(slot)
+                       for name, slot in sorted(per_model.items())},
+        }
+
+    def to_prometheus(self) -> str:
+        """Every serving metric in the Prometheus text format
+        (the ``GET /metrics`` body)."""
+        return self.registry.to_prometheus()

@@ -5,7 +5,10 @@ Endpoints (all JSON):
 * ``GET  /health``  — liveness + registered model list,
 * ``GET  /models``  — registry detail (name, version, spec label, energy),
 * ``GET  /stats``   — :class:`~repro.serving.metrics.ServingMetrics`
-  snapshot (throughput, latency percentiles, queue depth, energy totals),
+  snapshot (throughput, latency p50/p95/p99, live queue depth, error
+  counts, energy totals),
+* ``GET  /metrics`` — the same metrics in the Prometheus text exposition
+  format (scrape target; text/plain, not JSON),
 * ``POST /predict`` — ``{"model": name, "inputs": [[...], ...],
   "version": optional int}`` → ``{"predictions": [...], "scores": ...}``.
 
@@ -88,7 +91,21 @@ class _Handler(BaseHTTPRequestHandler):
                 "models": [entry.key for entry in entries],
             })
         elif self.path == "/stats":
+            # refresh the gauge so the snapshot reports the *live* depth,
+            # not the depth at the last enqueue/dequeue
+            self.server.metrics.set_queue_depth(
+                self.server.batcher.queue_depth())
             self._send_json(self.server.metrics.snapshot())
+        elif self.path == "/metrics":
+            self.server.metrics.set_queue_depth(
+                self.server.batcher.queue_depth())
+            body = self.server.metrics.to_prometheus().encode()
+            self.send_response(200)
+            self.send_header("Content-Type",
+                             "text/plain; version=0.0.4; charset=utf-8")
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
         elif self.path == "/models":
             payload = []
             for entry in self.server.registry.list_models():
@@ -224,7 +241,7 @@ def main(argv: list[str] | None = None) -> int:
                                max_latency_ms=args.max_latency_ms))
     host, port = server.server_address[:2]
     print(f"serving {len(registry)} model(s) on http://{host}:{port} "
-          f"(POST /predict, GET /health /models /stats)")
+          f"(POST /predict, GET /health /models /stats /metrics)")
     serve_forever(server)
     return 0
 

@@ -15,8 +15,11 @@ an unconstrained layer) per parameterised layer.
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 
+from repro import obs
 from repro.asm.alphabet import AlphabetSet
 from repro.asm.constraints import WeightConstrainer
 from repro.kernels import get_backend, quantize_constrain
@@ -117,9 +120,18 @@ class ConstraintProjector:
         dequantise round trip (reference semantics:
         :func:`repro.kernels.quantize_constrain`).
         """
+        if not obs.enabled():
+            for layer, param, constrainer, cache in self._targets:
+                layer.params[param] = self._kernel.project_weights(
+                    layer.params[param], self.bits, constrainer, cache)
+            return
+        started = time.perf_counter()
         for layer, param, constrainer, cache in self._targets:
             layer.params[param] = self._kernel.project_weights(
                 layer.params[param], self.bits, constrainer, cache)
+        obs.record_kernel(self._kernel.name, "project_weights",
+                          time.perf_counter() - started,
+                          calls=len(self._targets))
 
     __call__ = project
 

@@ -323,6 +323,35 @@ class TestMicroBatcher:
         assert np.array_equal(scores, quantized.forward(x))
 
 
+class TestServingMetrics:
+    def test_latency_percentiles_interpolate(self):
+        metrics = ServingMetrics()
+        for ms in range(1, 11):                    # 100 ms .. 1000 ms
+            metrics.record_request(model="m@v1", samples=1,
+                                   latency_s=ms / 10.0)
+        latency = metrics.snapshot()["latency_ms"]
+        # linear interpolation: p50 of 10 evenly spaced points sits
+        # between the 5th and 6th order statistics, not on either
+        assert latency["p50"] == pytest.approx(550.0)
+        assert latency["p95"] == pytest.approx(955.0)
+        assert latency["max"] == pytest.approx(1000.0)
+
+    def test_per_model_breakdown_and_energy(self):
+        metrics = ServingMetrics()
+        metrics.record_request(model="a@v1", samples=2, latency_s=0.01,
+                               energy_nj=10.0)
+        metrics.record_request(model="b@v1", samples=3, latency_s=0.02,
+                               energy_nj=30.0)
+        snapshot = metrics.snapshot()
+        assert snapshot["models"] == {
+            "a@v1": {"requests": 1, "samples": 2, "energy_nj": 10.0},
+            "b@v1": {"requests": 1, "samples": 3, "energy_nj": 30.0},
+        }
+        assert snapshot["energy"]["total_nj"] == pytest.approx(40.0)
+        body = metrics.to_prometheus()
+        assert 'serving_model_energy_nj{model="a@v1"} 10' in body
+
+
 @pytest.fixture
 def running_server(exported):
     _, path = exported
@@ -388,3 +417,28 @@ class TestServer:
         with pytest.raises(urllib.error.HTTPError) as excinfo:
             _post(f"{base}/predict", {"inputs": [[0.0] * 1024]})
         assert excinfo.value.code == 400
+
+    def test_stats_exposes_queue_depth_and_errors(self, running_server):
+        base, _ = running_server
+        stats = _get(f"{base}/stats")
+        assert stats["queue_depth"] == 0          # idle server, live poll
+        before = stats["errors_total"]
+        with pytest.raises(urllib.error.HTTPError):
+            _post(f"{base}/predict",
+                  {"model": "nope", "inputs": [[0.0] * 1024]})
+        assert _get(f"{base}/stats")["errors_total"] == before + 1
+
+    def test_metrics_endpoint_prometheus(self, running_server):
+        base, _ = running_server
+        x = sample_batch(2)
+        _post(f"{base}/predict", {"model": "digits", "inputs": x.tolist()})
+        request = urllib.request.urlopen(f"{base}/metrics", timeout=10.0)
+        with request as response:
+            assert response.headers["Content-Type"].startswith(
+                "text/plain")
+            body = response.read().decode()
+        assert "# TYPE serving_requests counter" in body
+        assert "serving_requests 1" in body
+        assert "serving_queue_depth 0" in body
+        assert 'serving_model_samples{model="digits@v1"} 2' in body
+        assert "serving_latency_seconds_count 1" in body
