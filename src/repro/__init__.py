@@ -59,11 +59,16 @@ Subpackages
     exports), nestable tracing spans (wall/CPU/peak-RSS) streamed to
     Chrome-compatible JSONL (``repro run --trace``, ``repro stats``),
     and no-op-when-disabled profiling hooks at every hot boundary.
+``repro.lint``
+    Domain-aware static analysis (``repro lint``): AST rules that
+    enforce the invariants above — seeded randomness, cache-key
+    completeness, backend parity, exact-integer kernels, journal
+    purity, metric hygiene (rules RPR001–RPR006, docs/invariants.md).
 ``repro.utils``
     Shared utilities (JSON serialization of result objects).
 """
 
-__version__ = "1.6.0"
+__version__ = "1.7.0"
 
 __all__ = ["__version__", "PipelineConfig", "Pipeline", "PipelineReport",
            "run_pipeline", "SearchSpace", "ExplorationReport",

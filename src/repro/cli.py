@@ -9,6 +9,7 @@ One console entry point for the whole flow::
     repro explore examples/configs/digits_explore.toml --jobs 4
     repro serve results/artifacts/mnist_mlp-asm2   # HTTP inference server
     repro stats out.jsonl                          # span tree + metrics
+    repro lint src/                                # domain invariant linter
     repro list                                     # what exists
 
 ``repro run`` executes :class:`~repro.pipeline.config.PipelineConfig`
@@ -234,6 +235,49 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.lint import LintConfig, LintConfigError, Linter, all_rules
+
+    if args.rules:
+        for rule_id, rule in all_rules().items():
+            print(f"{rule_id}  {rule.severity:<7}  {rule.title}")
+        return 0
+    root = os.path.abspath(args.root)
+    try:
+        config = LintConfig.discover(args.config, root=root)
+        if args.select:
+            config.select = [s.strip().upper()
+                             for s in args.select.split(",") if s.strip()]
+        result = Linter(config=config, root=root).run(args.paths)
+    except (LintConfigError, FileNotFoundError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps({
+            "format": "repro-lint/1",
+            "root": root,
+            "files": len(result.checked_files),
+            "errors": len(result.errors),
+            "warnings": len(result.warnings),
+            "suppressed": result.suppressed,
+            "findings": [f.to_dict() for f in result.findings],
+        }, indent=2))
+    else:
+        for finding in result.findings:
+            print(finding.render())
+        if result.findings:
+            print()
+        print(f"{len(result.checked_files)} files checked: "
+              f"{len(result.errors)} error(s), "
+              f"{len(result.warnings)} warning(s), "
+              f"{result.suppressed} suppressed")
+    if args.warn_only:
+        return 0
+    return 0 if result.ok else 1
+
+
 def _cmd_list(args: argparse.Namespace) -> int:
     from repro.datasets.registry import BENCHMARKS
     from repro.experiments.runner import EXPERIMENTS
@@ -395,6 +439,29 @@ def build_parser() -> argparse.ArgumentParser:
                        help="also convert the spans to a Chrome "
                             "trace-event JSON file for chrome://tracing")
     stats.set_defaults(func=_cmd_stats)
+
+    lint = sub.add_parser(
+        "lint", help="run the domain invariant linter (determinism, "
+                     "cache keys, backend parity, ... — see "
+                     "docs/invariants.md)")
+    lint.add_argument("paths", nargs="*", default=["src"],
+                      help="files/directories to lint (default: src)")
+    lint.add_argument("--json", action="store_true",
+                      help="emit machine-readable findings "
+                           "(format repro-lint/1) instead of text")
+    lint.add_argument("--select", default=None, metavar="ID1,ID2,...",
+                      help="run only these rule ids (e.g. RPR001,RPR004)")
+    lint.add_argument("--config", default=None, metavar="PYPROJECT",
+                      help="read [tool.repro.lint] from this file "
+                           "(default: <root>/pyproject.toml)")
+    lint.add_argument("--root", default=".",
+                      help="repository root paths are resolved and "
+                           "reported against (default: cwd)")
+    lint.add_argument("--warn-only", action="store_true",
+                      help="report findings but always exit 0")
+    lint.add_argument("--rules", action="store_true",
+                      help="list the registered rules and exit")
+    lint.set_defaults(func=_cmd_lint)
 
     lst = sub.add_parser(
         "list", help="list stages, designs, benchmarks, experiments, "

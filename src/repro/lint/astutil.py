@@ -1,0 +1,99 @@
+"""Shared AST helpers for the lint rules.
+
+The rules reason about *resolved dotted names*: ``np.random.default_rng``
+is only meaningful once ``np`` is known to be ``numpy``.  An
+:class:`ImportMap` collects every ``import`` / ``from ... import`` alias
+in a module (at any nesting level — function-local imports count) and
+:meth:`ImportMap.resolve` turns a ``Name`` / ``Attribute`` chain into the
+fully-qualified dotted string the rules match against.  Unimported heads
+resolve to themselves (``cfg.app`` -> ``"cfg.app"``), which is exactly
+what the receiver-tracking rules want.
+"""
+
+from __future__ import annotations
+
+import ast
+from fnmatch import fnmatch
+
+__all__ = ["dotted_parts", "ImportMap", "match_path", "iter_class_methods",
+           "decorator_names"]
+
+
+def dotted_parts(node: ast.AST) -> tuple[str, ...] | None:
+    """``a.b.c`` as ``("a", "b", "c")``; ``None`` for non-name chains."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    return tuple(reversed(parts))
+
+
+class ImportMap:
+    """Alias -> fully-qualified dotted name, from a module's imports."""
+
+    def __init__(self, tree: ast.Module) -> None:
+        self.aliases: dict[str, str] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    name = alias.asname or alias.name.split(".")[0]
+                    target = alias.name if alias.asname else \
+                        alias.name.split(".")[0]
+                    self.aliases[name] = target
+            elif isinstance(node, ast.ImportFrom):
+                if node.level:        # relative imports stay unresolved
+                    continue
+                module = node.module or ""
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    name = alias.asname or alias.name
+                    self.aliases[name] = f"{module}.{alias.name}" \
+                        if module else alias.name
+
+    def resolve(self, node: ast.AST) -> str | None:
+        """Fully-qualified dotted name of a ``Name``/``Attribute`` chain."""
+        parts = dotted_parts(node)
+        if parts is None:
+            return None
+        head = self.aliases.get(parts[0], parts[0])
+        return ".".join((head,) + parts[1:])
+
+
+def match_path(rel: str, patterns) -> bool:
+    """Does posix path *rel* match any entry of *patterns*?
+
+    An entry matches as an exact path, as a directory prefix (with or
+    without a trailing ``/``) or as an ``fnmatch`` glob where ``*``
+    crosses path separators (so ``*/kernels/reference.py`` matches at
+    any depth).
+    """
+    for pattern in patterns:
+        prefix = pattern if pattern.endswith("/") else pattern + "/"
+        if rel == pattern or rel.startswith(prefix) \
+                or fnmatch(rel, pattern):
+            return True
+    return False
+
+
+def iter_class_methods(classdef: ast.ClassDef):
+    """The directly-defined methods of a class body."""
+    for node in classdef.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node
+
+
+def decorator_names(node: ast.ClassDef | ast.FunctionDef) -> set[str]:
+    """Trailing names of a definition's decorators (``dataclass`` for
+    ``@dataclass``, ``@dataclasses.dataclass`` and
+    ``@dataclass(frozen=True)`` alike)."""
+    names: set[str] = set()
+    for dec in node.decorator_list:
+        target = dec.func if isinstance(dec, ast.Call) else dec
+        parts = dotted_parts(target)
+        if parts:
+            names.add(parts[-1])
+    return names

@@ -1,0 +1,140 @@
+"""``[tool.repro.lint]`` configuration.
+
+The linter runs with built-in defaults that keep the shipped tree at
+zero findings; ``pyproject.toml`` both *documents* those defaults (the
+allowlists are invariants, so they belong in a reviewed file) and can
+override them::
+
+    [tool.repro.lint]
+    exclude = ["tests/fixtures/lint/"]
+
+    [tool.repro.lint.RPR001]
+    allow = ["src/repro/obs/tracing.py"]
+
+    [tool.repro.lint.RPR006]
+    severity = "warning"
+
+Each ``[tool.repro.lint.<RULE-ID>]`` table is merged over that rule's
+``default_options``; the reserved ``severity`` key overrides the rule's
+severity and ``enabled = false`` drops it from the default selection.
+"""
+
+from __future__ import annotations
+
+import os
+
+__all__ = ["LintConfigError", "LintConfig"]
+
+
+class LintConfigError(ValueError):
+    """Invalid or unreadable lint configuration."""
+
+
+#: Keys of the top-level ``[tool.repro.lint]`` table.
+_TOP_KEYS = {"select", "exclude"}
+#: Reserved keys inside a per-rule table (everything else is an option).
+_RULE_META_KEYS = {"severity", "enabled"}
+
+
+class LintConfig:
+    """Merged lint settings: selection, excludes, per-rule options."""
+
+    def __init__(self, select: list[str] | None = None,
+                 exclude: list[str] | None = None,
+                 rules: dict[str, dict] | None = None) -> None:
+        #: explicit rule-id selection (``None`` = every enabled rule)
+        self.select = list(select) if select is not None else None
+        #: path patterns skipped while walking directories
+        self.exclude = list(exclude) if exclude is not None \
+            else ["tests/fixtures/lint/"]
+        #: per-rule tables (options + optional severity/enabled)
+        self.rules = {key: dict(value)
+                      for key, value in (rules or {}).items()}
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_dict(cls, data: dict) -> "LintConfig":
+        """Build from a ``[tool.repro.lint]``-shaped mapping."""
+        if not isinstance(data, dict):
+            raise LintConfigError(
+                f"[tool.repro.lint] must be a table, "
+                f"got {type(data).__name__}")
+        rules: dict[str, dict] = {}
+        select = data.get("select")
+        exclude = data.get("exclude")
+        for key, value in data.items():
+            if key in _TOP_KEYS:
+                continue
+            if not isinstance(value, dict):
+                raise LintConfigError(
+                    f"[tool.repro.lint.{key}] must be a table, "
+                    f"got {type(value).__name__}")
+            rules[key.upper()] = dict(value)
+        if select is not None:
+            if not isinstance(select, list):
+                raise LintConfigError("lint 'select' must be a list of "
+                                      "rule ids")
+            select = [str(s).upper() for s in select]
+        if exclude is not None and not isinstance(exclude, list):
+            raise LintConfigError("lint 'exclude' must be a list of "
+                                  "path patterns")
+        return cls(select=select, exclude=exclude, rules=rules)
+
+    @classmethod
+    def from_pyproject(cls, path: str) -> "LintConfig":
+        """Load the ``[tool.repro.lint]`` table of a pyproject file."""
+        try:
+            import tomllib
+        except ImportError:  # pragma: no cover - Python 3.10
+            raise LintConfigError(
+                "reading lint config from pyproject.toml needs Python "
+                "3.11+ (tomllib); the built-in defaults apply without it")
+        try:
+            with open(path, "rb") as handle:
+                data = tomllib.load(handle)
+        except OSError as error:
+            raise LintConfigError(f"cannot read {path}: {error}")
+        except tomllib.TOMLDecodeError as error:
+            raise LintConfigError(f"{path} is not valid TOML: {error}")
+        section = data.get("tool", {}).get("repro", {}).get("lint", {})
+        return cls.from_dict(section)
+
+    @classmethod
+    def discover(cls, explicit_path: str | None = None,
+                 root: str | None = None) -> "LintConfig":
+        """The config to use: *explicit_path*, else ``pyproject.toml``
+        under *root* (when present and parseable), else defaults."""
+        if explicit_path is not None:
+            return cls.from_pyproject(explicit_path)
+        candidate = os.path.join(root or os.getcwd(), "pyproject.toml")
+        if os.path.isfile(candidate):
+            try:
+                return cls.from_pyproject(candidate)
+            except LintConfigError:
+                # a 3.10 interpreter (no tomllib) falls back to the
+                # built-in defaults, which mirror the checked-in table
+                return cls()
+        return cls()
+
+    # ------------------------------------------------------------------
+    def rule_table(self, rule_id: str) -> dict:
+        return self.rules.get(rule_id.upper(), {})
+
+    def options(self, rule_id: str, defaults: dict) -> dict:
+        """*defaults* overlaid with this config's per-rule table."""
+        merged = dict(defaults)
+        for key, value in self.rule_table(rule_id).items():
+            if key not in _RULE_META_KEYS:
+                merged[key] = value
+        return merged
+
+    def severity_override(self, rule_id: str) -> str | None:
+        return self.rule_table(rule_id).get("severity")
+
+    def rule_enabled(self, rule_id: str) -> bool:
+        return bool(self.rule_table(rule_id).get("enabled", True))
+
+    def selected(self, rule_id: str) -> bool:
+        if self.select is not None:
+            return rule_id.upper() in self.select
+        return self.rule_enabled(rule_id)

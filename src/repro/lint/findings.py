@@ -1,0 +1,50 @@
+"""Lint findings: one frozen record per rule violation.
+
+A :class:`Finding` is the unit every rule emits and every output format
+renders — ``path:line:col RULE severity message``.  Severities are a
+two-level scale: ``error`` findings fail ``repro lint`` (exit code 1),
+``warning`` findings are reported but do not gate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["SEVERITIES", "Finding"]
+
+#: Ordered from most to least severe.
+SEVERITIES = ("error", "warning")
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    path: str          # posix path relative to the lint root
+    line: int          # 1-based
+    col: int           # 0-based (ast convention)
+    rule: str          # e.g. "RPR001"
+    severity: str      # "error" | "warning"
+    message: str
+
+    def __post_init__(self) -> None:
+        if self.severity not in SEVERITIES:
+            raise ValueError(
+                f"severity must be one of {SEVERITIES}, "
+                f"got {self.severity!r}")
+
+    def to_dict(self) -> dict:
+        """JSON row of the ``repro lint --json`` output."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule,
+            "severity": self.severity,
+            "message": self.message,
+        }
+
+    def render(self) -> str:
+        """The one-line text form."""
+        return (f"{self.path}:{self.line}:{self.col} "
+                f"{self.rule} {self.severity}: {self.message}")

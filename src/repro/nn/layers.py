@@ -87,7 +87,7 @@ class Dense(Layer):
         self.in_features = in_features
         self.out_features = out_features
         self.activation = get_activation(activation)
-        rng = rng or np.random.default_rng()
+        rng = rng or np.random.default_rng(0)
         bound = 1.0 / np.sqrt(in_features)
         self.params = {
             "W": rng.uniform(-bound, bound, size=(in_features, out_features)),
@@ -149,7 +149,7 @@ class Conv2D(Layer):
                     f"({out_channels}, {in_channels})"
                 )
         self.connection_table = connection_table
-        rng = rng or np.random.default_rng()
+        rng = rng or np.random.default_rng(0)
         fan_in = in_channels * kernel * kernel
         bound = 1.0 / np.sqrt(fan_in)
         weights = rng.uniform(

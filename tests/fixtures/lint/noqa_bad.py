@@ -1,0 +1,11 @@
+"""Suppression fixture: malformed noqa markers (both are RPR000)."""
+
+import numpy as np
+
+
+def probe():
+    return np.random.default_rng()  # repro: noqa
+
+
+def probe2():
+    return np.random.default_rng()  # repro: noqa[RPR999]

@@ -1,0 +1,7 @@
+"""Suppression fixture: a real violation silenced by a scoped noqa."""
+
+import numpy as np
+
+
+def probe():
+    return np.random.default_rng()  # repro: noqa[RPR001]

@@ -1,0 +1,18 @@
+"""RPR001 fixture: every class of determinism violation."""
+
+import random
+import time
+
+import numpy as np
+
+
+def jitter(values):
+    rng = np.random.default_rng()      # unseeded constructor
+    np.random.seed(1)                  # numpy legacy global state
+    noise = random.random()            # stdlib global state
+    stamp = time.time()                # wall-clock call
+    return values + rng.normal() + noise + stamp
+
+
+def stamped_factory():
+    return {"default_factory": time.time}   # wall-clock reference

@@ -1,0 +1,13 @@
+"""RPR001 fixture: seeded randomness and interval clocks only."""
+
+import time
+
+import numpy as np
+
+
+def jitter(values, seed=0):
+    rng = np.random.default_rng(seed)
+    local = np.random.default_rng(seed + 1)
+    started = time.perf_counter()
+    out = values + rng.normal() + local.normal()
+    return out, time.perf_counter() - started

@@ -1,0 +1,31 @@
+"""RPR002 fixture: a config whose cache keys silently lose a field.
+
+``mystery`` is missing from ``to_dict()`` *and* from ``_stage_deps``;
+``digest()`` drops ``bits`` without documenting the exclusion.
+"""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class PipelineConfig:
+    app: str
+    bits: int = 8
+    mystery: int = 0
+
+    def to_dict(self):
+        return {"app": self.app, "bits": self.bits}
+
+    def digest(self):
+        data = self.to_dict()
+        data.pop("bits")
+        return repr(sorted(data.items()))
+
+
+class Pipeline:
+    def __init__(self, config):
+        self.config = config
+
+    def _stage_deps(self, stage, plan):
+        cfg = self.config
+        return {"app": cfg.app, "bits": cfg.bits}

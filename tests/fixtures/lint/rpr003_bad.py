@@ -1,0 +1,34 @@
+"""RPR003 fixture: an abstract kernel left half-implemented.
+
+``frobnicate_zz9`` is implemented by the reference backend only and is
+referenced by no test (the fixtures directory is excluded from the test
+identifier scan), so the rule reports both gaps.
+"""
+
+
+class KernelBackend:
+    name = "base"
+
+    def dense(self, layer, x, x_fmt):
+        raise NotImplementedError
+
+    def frobnicate_zz9(self, layer):
+        """A kernel family nobody finished wiring up."""
+        raise NotImplementedError
+
+
+class ReferenceBackend(KernelBackend):
+    name = "reference"
+
+    def dense(self, layer, x, x_fmt):
+        return layer, x_fmt
+
+    def frobnicate_zz9(self, layer):
+        return layer
+
+
+class FastBackend(KernelBackend):
+    name = "fast"
+
+    def dense(self, layer, x, x_fmt):
+        return layer, x_fmt

@@ -1,0 +1,9 @@
+"""RPR004 fixture: float arithmetic leaking into the integer path."""
+
+import numpy as np
+
+
+def dense_forward(acc, bias):
+    out = acc / 3                     # true division
+    out = out.astype(np.float32)      # float dtype outside a carrier
+    return float(out[0]) + bias       # float() construction

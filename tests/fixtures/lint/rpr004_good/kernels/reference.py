@@ -1,0 +1,10 @@
+"""RPR004 fixture: floats only at the allowlisted carrier assignments."""
+
+import numpy as np
+
+
+def dense_forward(acc, res_x, res_w, bias):
+    scale = np.float64(res_x) * res_w / 1.0   # carrier: reviewed transition
+    real = acc.astype(np.float64) * scale + bias
+    halves = acc // 2                          # floor division stays legal
+    return real, halves

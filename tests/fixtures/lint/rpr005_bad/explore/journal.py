@@ -1,0 +1,13 @@
+"""RPR005 fixture: impure state baked into journal records."""
+
+import os
+import time
+
+
+def make_record(config_digest, accuracy):
+    return {
+        "config": config_digest,
+        "accuracy": accuracy,
+        "timestamp": time.time(),     # wall clock in the record
+        "worker_pid": os.getpid(),    # process identity in the record
+    }

@@ -1,0 +1,12 @@
+"""RPR005 fixture: pure records, telemetry out-of-band."""
+
+import time
+
+
+def run_one(evaluate, config_digest):
+    started = time.perf_counter()
+    record = {"config": config_digest, "accuracy": evaluate(config_digest)}
+    # the {record, elapsed_s} wrapper: telemetry rides next to the pure
+    # record and is stripped before journaling
+    return {"record": record,
+            "elapsed_s": time.perf_counter() - started}

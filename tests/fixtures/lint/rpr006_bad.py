@@ -1,0 +1,12 @@
+"""RPR006 fixture: dynamic names, bad names, split label schemas."""
+
+
+def record(reg, obs, name, stage):
+    reg.counter(name, stage=stage).inc()             # computed name
+    reg.counter("bad metric!", stage=stage).inc()    # unsanitizable name
+    reg.counter("fixture.calls", stage=stage).inc()
+    reg.counter("fixture.calls", design="asm2").inc()  # split schema
+    with obs.span(stage):                            # computed span name
+        pass
+    with obs.span(f"{stage}.run"):                   # no literal prefix
+        pass

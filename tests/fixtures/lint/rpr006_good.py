@@ -1,0 +1,12 @@
+"""RPR006 fixture: literal names, one label schema per metric."""
+
+
+def record(reg, obs, stage, backend):
+    reg.counter("fixture.calls", stage=stage).inc()
+    reg.counter("fixture.calls", stage=stage).inc()
+    reg.gauge("fixture.depth").set(2)
+    reg.histogram("fixture.latency_seconds", window=256).observe(0.1)
+    with obs.span("fixture.run"):
+        pass
+    with obs.span(f"stage.{stage}"):    # literal dotted prefix: fine
+        pass

@@ -131,6 +131,27 @@ class TestDense:
             layer.load_state({"W": np.zeros((1, 1))})
 
 
+class TestDefaultInitDeterminism:
+    """Layers built without an explicit rng must be reproducible: the
+    default generator is seeded (lint rule RPR001 guards the source)."""
+
+    def test_dense_default_init_identical(self):
+        a = Dense(12, 5)
+        b = Dense(12, 5)
+        np.testing.assert_array_equal(a.params["W"], b.params["W"])
+        np.testing.assert_array_equal(a.params["b"], b.params["b"])
+
+    def test_conv_default_init_identical(self):
+        a = Conv2D(2, 3, 5)
+        b = Conv2D(2, 3, 5)
+        np.testing.assert_array_equal(a.params["W"], b.params["W"])
+
+    def test_explicit_rng_still_wins(self):
+        seeded = Dense(12, 5, rng=np.random.default_rng(7))
+        default = Dense(12, 5)
+        assert not np.array_equal(seeded.params["W"], default.params["W"])
+
+
 class TestConv2D:
     def test_forward_shape(self):
         layer = Conv2D(3, 8, 5, rng=RNG)

@@ -122,9 +122,9 @@ class TestMetrics:
 
     def test_registry_rejects_kind_conflict(self):
         registry = obs.MetricsRegistry()
-        registry.counter("x.calls")
+        registry.counter("y.calls")
         with pytest.raises(ValueError):
-            registry.gauge("x.calls")
+            registry.gauge("y.calls")
 
     def test_to_dict_rows(self):
         registry = obs.MetricsRegistry()
@@ -166,13 +166,13 @@ class TestPrometheus:
 
     def test_text_format(self):
         registry = obs.MetricsRegistry()
-        registry.counter("kernels.calls", backend='we"ird\n').inc(3)
+        registry.counter("esc.calls", backend='we"ird\n').inc(3)
         registry.gauge("queue.depth").set(2)
         registry.histogram("lat.seconds").observe(0.5)
         text = registry.to_prometheus()
         assert text.endswith("\n")
-        assert "# TYPE kernels_calls counter" in text
-        assert 'kernels_calls{backend="we\\"ird\\n"} 3' in text
+        assert "# TYPE esc_calls counter" in text
+        assert 'esc_calls{backend="we\\"ird\\n"} 3' in text
         assert "# TYPE queue_depth gauge" in text
         assert "queue_depth 2" in text
         assert "# TYPE lat_seconds summary" in text
