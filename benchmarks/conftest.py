@@ -42,12 +42,17 @@ def emit_json(name: str, results: dict, version: int = 1) -> str:
     ``emit``), where the CI perf-smoke jobs and the perf trajectory
     tooling expect it.  Returns the path written.
 
-    Every payload carries ``host`` and ``repro_version`` so numbers from
-    different machines / releases are never compared blindly.
+    Every payload carries ``host``, ``repro_version`` and ``git_sha`` so
+    numbers from different machines / releases / commits are never
+    compared blindly.  The stamps are attribution only — they stay out
+    of every cache key (the RPR001 allowlist covers ``benchmarks/``).
     """
+    from repro.obs.history import git_sha
+
     payload = {"format": f"repro-bench/{name}/{version}",
                "host": socket.gethostname(),
                "repro_version": repro.__version__,
+               "git_sha": git_sha(cwd=REPO_ROOT),
                "results": results}
     path = os.path.join(REPO_ROOT, f"BENCH_{name}.json")
     with open(path, "w") as handle:

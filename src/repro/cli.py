@@ -206,32 +206,140 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
 
 def _cmd_stats(args: argparse.Namespace) -> int:
+    from repro.obs.merge import find_shards, merge_trace, write_merged_trace
     from repro.obs.stats import (
         TraceError,
+        diff_traces,
         format_metric_table,
         format_span_tree,
+        format_trace_diff,
         load_trace,
         write_chrome_trace,
     )
 
+    if args.diff is not None:
+        if args.trace is not None:
+            print("error: --diff takes exactly two traces; drop the "
+                  "positional argument", file=sys.stderr)
+            return 2
+        try:
+            trace_a = merge_trace(args.diff[0])
+            trace_b = merge_trace(args.diff[1])
+        except (TraceError, OSError) as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 1
+        print(f"diff: {args.diff[0]} (A) vs {args.diff[1]} (B), "
+              f"significance threshold {args.threshold:g}%")
+        print()
+        print(format_trace_diff(diff_traces(trace_a, trace_b,
+                                            threshold_pct=args.threshold)))
+        return 0
+
+    if args.trace is None:
+        print("error: a trace path is required (or use --diff A B)",
+              file=sys.stderr)
+        return 2
     try:
-        trace = load_trace(args.trace)
+        shards = find_shards(args.trace)
+        if shards:
+            trace = merge_trace(args.trace, shards)
+        else:
+            trace = load_trace(args.trace)
     except (TraceError, OSError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 1
     meta = trace.meta
+    sharded = f", {len(shards)} worker shard(s) merged" if shards else ""
     print(f"trace: {args.trace} (format {meta['format']}, "
           f"repro {meta.get('repro_version', '?')}, "
-          f"{len(trace.events)} spans)")
+          f"{len(trace.events)} spans{sharded})")
+    if trace.dropped:
+        print(f"note: {trace.dropped} span(s) dropped past the in-memory "
+              f"cap (MAX_KEPT_SPANS)")
     print()
     print(format_span_tree(trace, max_depth=args.depth))
     if not args.no_metrics:
         print()
         print(format_metric_table(trace))
+    if args.merge:
+        path = write_merged_trace(args.trace, args.merge, shards)
+        print(f"\n[wrote merged trace {path}]")
     if args.chrome:
         path = write_chrome_trace(trace, args.chrome)
         print(f"\n[wrote Chrome trace {path}; open via chrome://tracing "
               f"or https://ui.perfetto.dev]")
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    import json
+    import subprocess
+
+    from repro.obs.history import (
+        SUITES,
+        HistoryError,
+        append_entry,
+        check_gates,
+        entry_from_payload,
+        format_trend,
+        load_history,
+    )
+
+    suites = args.suite or (list(SUITES) if not args.check else [])
+    unknown = [s for s in suites if s not in SUITES]
+    if unknown:
+        print(f"error: unknown suite(s) {', '.join(unknown)}; "
+              f"choose from {', '.join(SUITES)}", file=sys.stderr)
+        return 2
+
+    bench_dir = os.path.abspath(args.benchmarks_dir)
+    repo_root = os.path.dirname(bench_dir)
+    history_path = args.history if args.history is not None else \
+        os.path.join(repo_root, "BENCH_HISTORY.jsonl")
+    try:
+        entries = load_history(history_path)
+    except HistoryError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+    for suite in suites:
+        script = os.path.join(bench_dir, SUITES[suite])
+        if not os.path.exists(script):
+            print(f"error: {script} not found", file=sys.stderr)
+            return 1
+        print(f"[bench {suite}] running {SUITES[suite]} ...")
+        proc = subprocess.run(
+            [sys.executable, "-m", "pytest", script, "-q", "-s"],
+            cwd=repo_root)
+        if proc.returncode != 0:
+            print(f"error: suite {suite!r} failed (exit "
+                  f"{proc.returncode})", file=sys.stderr)
+            return 1
+        payload_path = os.path.join(repo_root, f"BENCH_{suite}.json")
+        try:
+            with open(payload_path) as handle:
+                payload = json.load(handle)
+            entries = append_entry(history_path,
+                                   entry_from_payload(suite, payload))
+        except (OSError, ValueError) as error:
+            print(f"error: could not ledger {payload_path}: {error}",
+                  file=sys.stderr)
+            return 1
+        print(f"[bench {suite}] ledgered into {history_path}")
+
+    if not entries:
+        print(f"bench history {history_path} is empty; run "
+              f"`repro bench` first")
+        return 0
+    print()
+    print(format_trend(entries))
+    violations = check_gates(entries)
+    if violations:
+        print()
+        for violation in violations:
+            print(f"GATE FAILED  {violation.render()}", file=sys.stderr)
+        return 1
+    print(f"\nall trajectory gates pass ({len(entries)} ledger entries)")
     return 0
 
 
@@ -413,8 +521,9 @@ def build_parser() -> argparse.ArgumentParser:
                          help="also write the ExplorationReport to PATH")
     explore.add_argument("--trace", default=None, metavar="PATH",
                          help="record a repro.obs span/metrics trace to "
-                              "PATH (parent process only; workers run "
-                              "untraced)")
+                              "PATH; forked workers write "
+                              "PATH.shard-N.jsonl files that `repro "
+                              "stats PATH` merges back into one tree")
     explore.add_argument("--quiet", action="store_true",
                          help="suppress per-candidate progress lines")
     explore.set_defaults(func=_cmd_explore)
@@ -427,18 +536,52 @@ def build_parser() -> argparse.ArgumentParser:
     serve.set_defaults(func=_cmd_serve)
 
     stats = sub.add_parser(
-        "stats", help="render a --trace file: span tree, metric table, "
-                      "optional Chrome trace export")
-    stats.add_argument("trace", help="path to a repro-trace JSONL file "
-                                     "(from repro run/explore --trace)")
+        "stats", help="render a --trace file (worker shards merged in): "
+                      "span tree, metric table, trace diffing, optional "
+                      "Chrome trace export")
+    stats.add_argument("trace", nargs="?", default=None,
+                       help="path to a repro-trace JSONL file (from repro "
+                            "run/explore --trace); any "
+                            "<trace>.shard-N.jsonl worker shards next to "
+                            "it are merged automatically")
+    stats.add_argument("--diff", nargs=2, default=None,
+                       metavar=("A.jsonl", "B.jsonl"),
+                       help="instead of rendering one trace, align two "
+                            "traces by span path and report wall/CPU/RSS "
+                            "and metric deltas")
+    stats.add_argument("--threshold", type=float, default=5.0,
+                       metavar="PCT",
+                       help="significance threshold for --diff wall-time "
+                            "deltas (default: 5%%)")
     stats.add_argument("--depth", type=int, default=None, metavar="N",
                        help="limit the span tree to N levels")
     stats.add_argument("--no-metrics", action="store_true",
                        help="skip the metric table")
+    stats.add_argument("--merge", default=None, metavar="OUT.jsonl",
+                       help="also write the shard-merged trace as one "
+                            "unified repro-trace/1 file")
     stats.add_argument("--chrome", default=None, metavar="OUT.json",
                        help="also convert the spans to a Chrome "
                             "trace-event JSON file for chrome://tracing")
     stats.set_defaults(func=_cmd_stats)
+
+    bench = sub.add_parser(
+        "bench", help="run benchmark suites, ledger their results into "
+                      "BENCH_HISTORY.jsonl and gate the trajectory")
+    bench.add_argument("suite", nargs="*",
+                       help="suites to run (default: all; "
+                            "see repro.obs.history.SUITES); with --check "
+                            "the default is to run none and only gate")
+    bench.add_argument("--history", default=None, metavar="PATH",
+                       help="ledger file (default: BENCH_HISTORY.jsonl "
+                            "next to the benchmarks directory)")
+    bench.add_argument("--check", action="store_true",
+                       help="gate the existing ledger without running "
+                            "any suite (the CI mode)")
+    bench.add_argument("--benchmarks-dir", default="benchmarks",
+                       metavar="DIR",
+                       help="directory holding the bench_*.py suites")
+    bench.set_defaults(func=_cmd_bench)
 
     lint = sub.add_parser(
         "lint", help="run the domain invariant linter (determinism, "

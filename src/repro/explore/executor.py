@@ -54,6 +54,12 @@ def pool_map(fn: Callable, payloads: Sequence, jobs: int,
     payload's position; results come back ordered by that index whatever
     the completion order.  ``on_result`` (if given) sees each
     ``(index, value)`` as it completes — the journaling hook.
+
+    Under a traced parent (``--trace``), fork-start workers keep tracing
+    into per-worker shard files (:mod:`repro.obs.shard`); ``repro stats``
+    merges them back under the parent's ``explore.map`` span.  Tracing
+    never touches the values workers return, so journals stay
+    bit-identical between traced and untraced runs.
     """
     results: dict[int, object] = {}
     if jobs <= 1 or len(payloads) <= 1:

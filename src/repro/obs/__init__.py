@@ -74,7 +74,9 @@ __all__ = [
 class _State:
     """Process-global switch + the objects it guards."""
 
-    __slots__ = ("enabled", "tracer", "registry")
+    # __weakref__: multiprocessing's register_after_fork keeps its
+    # subjects in a WeakValueDictionary
+    __slots__ = ("enabled", "tracer", "registry", "__weakref__")
 
     def __init__(self) -> None:
         self.enabled = False
@@ -99,6 +101,8 @@ def enable(trace_path: str | None = None) -> None:
             _STATE.tracer.close()
         _STATE.tracer = Tracer(trace_path)
         _STATE.enabled = True
+        if trace_path is not None:
+            _hook_multiprocessing_children()
 
 
 def disable() -> None:
@@ -106,7 +110,13 @@ def disable() -> None:
     with _LOCK:
         _STATE.enabled = False
         if _STATE.tracer is not None:
-            _STATE.tracer.write_metrics(_STATE.registry.to_dict())
+            dropped = _STATE.tracer.dropped
+            if dropped:
+                # the in-memory forest cap must never be silent: count it
+                # and stamp it into the trace's closing metrics line
+                _STATE.registry.counter("obs.spans_dropped").inc(dropped)
+            _STATE.tracer.write_metrics(_STATE.registry.to_dict(),
+                                        dropped=dropped)
             _STATE.tracer.close()
 
 
@@ -167,11 +177,87 @@ def reset() -> None:
         _STATE.registry.clear()
 
 
-def _disable_in_child() -> None:           # pragma: no cover - fork path
-    # a forked worker must not write to the parent's trace file
-    _STATE.enabled = False
-    _STATE.tracer = None
+def _close_shard_at_exit(shard, registry: MetricsRegistry) -> None:
+    """Cleanly finish a worker shard when the child exits normally.
+
+    Pool teardown usually SIGTERMs workers (no ``atexit``), which is
+    fine — shards are line-buffered and valid without a closing line —
+    but a child that *does* exit cleanly gets its metrics snapshot.
+    Bypasses :func:`disable` on purpose: the module lock it takes was
+    inherited across fork and may be held forever.
+    """
+    if _STATE.tracer is shard:
+        _STATE.enabled = False
+        _STATE.tracer = None
+    shard.write_metrics(registry.to_dict(), dropped=shard.dropped)
+    shard.close()
+
+
+_MP_HOOKED = False
+
+
+def _hook_multiprocessing_children() -> None:
+    """Arrange for multiprocessing children to finish their shards.
+
+    mp children skip ``atexit`` (``Process._bootstrap`` ends in
+    ``os._exit``) and clear the inherited finalizer registry *after* the
+    ``os.register_at_fork`` hooks ran — so the shard's closing metrics
+    line needs a finalizer registered from inside ``_run_after_forkers``,
+    which ``_bootstrap`` runs after that clear.  Registered once, from
+    the parent, at the first file-backed :func:`enable`.
+    """
+    global _MP_HOOKED
+    if _MP_HOOKED:
+        return
+    from multiprocessing.util import Finalize, register_after_fork
+
+    def finalize_shard_at_exit(state: _State) -> None:
+        # runs in every mp child; only sharded children have work to do
+        shard = state.tracer
+        if state.enabled and shard is not None and \
+                getattr(shard, "shard_index", None) is not None:
+            Finalize(None, _close_shard_at_exit,
+                     args=(shard, state.registry), exitpriority=10)
+
+    register_after_fork(_STATE, finalize_shard_at_exit)
+    _MP_HOOKED = True
+
+
+def _shard_in_child() -> None:
+    """``after_in_child`` hook: re-point tracing at a worker shard.
+
+    A child of a tracing, file-backed parent opens its own
+    ``<trace>.shard-<n>.jsonl`` (see :mod:`repro.obs.shard`) and keeps
+    instrumenting; its metrics start from a fresh registry so a clean
+    exit snapshots only child-side numbers.  A child of an in-memory
+    tracer still self-disables — it has no file to report into, and it
+    must never touch the parent's in-memory forest.  Locks are replaced,
+    not taken: any inherited lock may have been mid-acquire at fork.
+    """
+    global _LOCK
+    _LOCK = threading.Lock()
+    tracer = _STATE.tracer
+    if tracer is None:
+        return
+    if not _STATE.enabled or tracer.path is None:
+        _STATE.enabled = False
+        _STATE.tracer = None
+        return
+    import atexit
+
+    from repro.obs.shard import fork_shard
+
+    try:
+        shard = fork_shard(tracer)
+    except (OSError, RuntimeError):     # pragma: no cover - defensive
+        # a failed shard open must not break the worker: run dark instead
+        _STATE.enabled = False
+        _STATE.tracer = None
+        return
+    _STATE.tracer = shard
+    _STATE.registry = MetricsRegistry()
+    atexit.register(_close_shard_at_exit, shard, _STATE.registry)
 
 
 if hasattr(os, "register_at_fork"):
-    os.register_at_fork(after_in_child=_disable_in_child)
+    os.register_at_fork(after_in_child=_shard_in_child)

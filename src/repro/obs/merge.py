@@ -1,0 +1,149 @@
+"""Stitch worker trace shards into one unified span forest.
+
+A traced multi-process run leaves a parent trace plus one shard per
+forked worker (:mod:`repro.obs.shard`).  This module puts them back
+together:
+
+* :func:`find_shards` — discover ``<trace>.shard-<n>.jsonl`` files next
+  to a parent trace, ordered by shard index;
+* :func:`merge_trace` — parse parent + shards and return one
+  :class:`~repro.obs.stats.TraceFile` whose forest grafts each shard's
+  root spans under the parent span they were forked under (the shard
+  meta's ``forked_under`` id), so ``repro explore --jobs 4`` renders as
+  one tree with per-candidate worker spans under ``explore.map``;
+* :func:`write_merged_trace` — write that merged forest back out as a
+  single schema-valid ``repro-trace/1`` file.
+
+Merging is deterministic: shards are taken in index order, events keep
+their file order within each source, and span ids are renumbered with
+one global counter in that traversal order (per-shard ids restart at 1,
+so raw ids collide across processes).  ``pid``/``tid`` are preserved on
+every event — the Chrome/Perfetto export of a merged trace shows each
+worker as its own process track on one shared timeline (shards inherit
+the parent's monotonic epoch).
+
+Shard validation is strict: every shard must be a well-formed
+``repro-trace/1`` file whose meta line carries ``shard`` and
+``parent_pid``, and its ``parent_pid`` must match the parent trace's
+``pid`` — anything else raises :class:`~repro.obs.stats.TraceError`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+
+from repro.obs.stats import TraceError, TraceFile, _link, load_trace
+
+__all__ = ["find_shards", "load_shard", "merge_trace",
+           "write_merged_trace"]
+
+
+def find_shards(trace_path: str) -> list[str]:
+    """Shard files of *trace_path*, sorted by shard index.
+
+    Only first-level shards are found (``<trace>.shard-<n>.jsonl``); a
+    worker that forked again shards off its own file one more level,
+    which none of the repo's pools do.
+    """
+    directory = os.path.dirname(os.path.abspath(trace_path))
+    base = os.path.basename(trace_path)
+    pattern = re.compile(re.escape(base) + r"\.shard-(\d+)\.jsonl$")
+    shards: list[tuple[int, str]] = []
+    try:
+        names = os.listdir(directory)
+    except OSError:
+        return []
+    for name in names:
+        match = pattern.match(name)
+        if match:
+            shards.append((int(match.group(1)),
+                           os.path.join(directory, name)))
+    return [path for _index, path in sorted(shards)]
+
+
+def load_shard(path: str) -> TraceFile:
+    """Parse one shard file, checking the shard-specific meta keys."""
+    shard = load_trace(path)
+    missing = [key for key in ("shard", "parent_pid")
+               if key not in shard.meta]
+    if missing:
+        raise TraceError(
+            f"{path}:1: not a worker shard (meta line missing {missing})")
+    return shard
+
+
+def merge_trace(trace_path: str,
+                shard_paths: list[str] | None = None) -> TraceFile:
+    """Merge a parent trace and its worker shards into one forest.
+
+    *shard_paths* defaults to :func:`find_shards`; a parent with no
+    shards merges to itself (same events, ids renumbered).
+    """
+    parent = load_trace(trace_path)
+    if shard_paths is None:
+        shard_paths = find_shards(trace_path)
+    shards = [load_shard(path) for path in shard_paths]
+    for path, shard in zip(shard_paths, shards):
+        if shard.meta["parent_pid"] != parent.meta.get("pid"):
+            raise TraceError(
+                f"{path}: shard was forked from pid "
+                f"{shard.meta['parent_pid']}, but {trace_path} is pid "
+                f"{parent.meta.get('pid')}")
+
+    events: list[dict] = []
+    next_id = 0
+
+    def renumber(source_events: list[dict]) -> dict[int, int]:
+        nonlocal next_id
+        id_map: dict[int, int] = {}
+        for event in source_events:
+            next_id += 1
+            id_map[event["id"]] = next_id
+        return id_map
+
+    parent_ids = renumber(parent.events)
+    for event in parent.events:
+        merged = dict(event)
+        merged["id"] = parent_ids[event["id"]]
+        if event["parent"] is not None:
+            merged["parent"] = parent_ids[event["parent"]]
+        events.append(merged)
+
+    metrics = list(parent.metrics)
+    dropped = parent.dropped
+    for shard in shards:
+        shard_ids = renumber(shard.events)
+        graft = parent_ids.get(shard.meta.get("forked_under"))
+        for event in shard.events:
+            merged = dict(event)
+            merged["id"] = shard_ids[event["id"]]
+            if event["parent"] is not None:
+                merged["parent"] = shard_ids[event["parent"]]
+            else:
+                merged["parent"] = graft
+            events.append(merged)
+        metrics.extend(shard.metrics)
+        dropped += shard.dropped
+
+    meta = dict(parent.meta)
+    meta["merged_shards"] = len(shards)
+    meta["shard_pids"] = [shard.meta["pid"] for shard in shards]
+    return TraceFile(meta=meta, roots=_link(events), events=events,
+                     metrics=metrics, dropped=dropped)
+
+
+def write_merged_trace(trace_path: str, out_path: str,
+                       shard_paths: list[str] | None = None) -> str:
+    """Merge and write one unified ``repro-trace/1`` JSONL file."""
+    merged = merge_trace(trace_path, shard_paths)
+    with open(out_path, "w") as handle:
+        handle.write(json.dumps(merged.meta) + "\n")
+        for event in merged.events:
+            handle.write(json.dumps(event) + "\n")
+        closing: dict = {"type": "metrics", "metrics": merged.metrics}
+        if merged.dropped:
+            closing["dropped"] = merged.dropped
+        handle.write(json.dumps(closing) + "\n")
+    return out_path

@@ -33,10 +33,42 @@ from collections import deque
 from typing import Any, Iterable
 
 __all__ = ["quantile", "Counter", "Gauge", "Histogram", "MetricsRegistry",
-           "DEFAULT_WINDOW", "prometheus_name", "escape_label_value"]
+           "DEFAULT_WINDOW", "HELP_TEXT", "prometheus_name",
+           "escape_label_value"]
 
 #: Default rolling-window size for histogram quantile estimation.
 DEFAULT_WINDOW = 2048
+
+#: ``# HELP`` text for the repo's documented metric vocabulary
+#: (docs/observability.md).  Kept here — not as a metric kwarg — so help
+#: text never masquerades as a label schema; ad-hoc metrics without an
+#: entry simply render without a HELP line.  Extend via
+#: :meth:`MetricsRegistry.describe` for registry-local metrics.
+HELP_TEXT: dict[str, str] = {
+    "pipeline.cache.hits": "Pipeline stage cache hits",
+    "pipeline.cache.misses": "Pipeline stage cache misses",
+    "kernels.calls": "Kernel dispatches per backend and kernel",
+    "kernels.seconds": "Cumulative kernel seconds per backend and kernel",
+    "explore.journal_hits": "Explore candidates satisfied from the journal",
+    "explore.journal_writes": "Explore candidate records written",
+    "explore.candidates_evaluated": "Explore candidates actually evaluated",
+    "explore.candidate_seconds": "Wall seconds per evaluated candidate",
+    "explore.workers": "Worker processes of the last explore pool",
+    "explore.worker_utilization":
+        "Sum of candidate seconds / (workers * wall seconds)",
+    "serving.requests": "HTTP inference requests served",
+    "serving.samples": "Samples classified across all requests",
+    "serving.batches": "Micro-batcher flushes",
+    "serving.errors": "Failed inference requests",
+    "serving.energy_nj": "Estimated energy spent serving, in nanojoules",
+    "serving.queue_depth": "Micro-batcher queue depth",
+    "serving.latency_seconds": "End-to-end request latency in seconds",
+    "serving.batch_size": "Micro-batcher flush sizes",
+    "serving.model_requests": "Requests per served model",
+    "serving.model_samples": "Samples per served model",
+    "serving.model_energy_nj": "Energy per served model, in nanojoules",
+    "obs.spans_dropped": "Spans dropped past the in-memory forest cap",
+}
 
 
 def quantile(values: Iterable[float], q: float) -> float:
@@ -242,6 +274,16 @@ class MetricsRegistry:
         self._lock = threading.Lock()
         self._metrics: dict[tuple[str, tuple[tuple[str, str], ...]], Any] = {}
         self._kinds: dict[str, str] = {}
+        self._help: dict[str, str] = {}
+
+    def describe(self, name: str, text: str) -> None:
+        """Attach registry-local ``# HELP`` text to a metric name.
+
+        Overrides the shared :data:`HELP_TEXT` vocabulary for this
+        registry only; exposition escapes the text per the format rules.
+        """
+        with self._lock:
+            self._help[name] = text
 
     # ------------------------------------------------------------------
     def _get(self, kind: str, name: str, labels: dict[str, Any],
@@ -276,16 +318,18 @@ class MetricsRegistry:
         with self._lock:
             self._metrics.clear()
             self._kinds.clear()
+            self._help.clear()
 
     def _sorted_items(self):
         with self._lock:
             items = sorted(self._metrics.items())
             kinds = dict(self._kinds)
-        return items, kinds
+            help_text = dict(self._help)
+        return items, kinds, help_text
 
     def to_dict(self) -> list[dict]:
         """Flat, JSON-able metric rows sorted by (name, labels)."""
-        items, kinds = self._sorted_items()
+        items, kinds, _ = self._sorted_items()
         rows = []
         for (name, labels), metric in items:
             row: dict[str, Any] = {"name": name, "kind": kinds[name],
@@ -302,10 +346,12 @@ class MetricsRegistry:
 
         Counters and gauges become single samples; histograms become
         summaries (``name{quantile="0.5"}``, ``name_count``,
-        ``name_sum``).  Dotted names are sanitised to underscores and
-        label values escaped per the format rules.
+        ``name_sum``).  Dotted names are sanitised to underscores, label
+        values escaped per the format rules, and each metric family gets
+        its ``# HELP`` line (from :data:`HELP_TEXT` or
+        :meth:`describe`) ahead of its ``# TYPE`` line.
         """
-        items, kinds = self._sorted_items()
+        items, kinds, help_text = self._sorted_items()
         lines: list[str] = []
         typed: set[str] = set()
         for (name, labels), metric in items:
@@ -313,6 +359,11 @@ class MetricsRegistry:
             kind = kinds[name]
             if name not in typed:
                 typed.add(name)
+                help_line = help_text.get(name, HELP_TEXT.get(name))
+                if help_line:
+                    escaped = (help_line.replace("\\", "\\\\")
+                               .replace("\n", "\\n"))
+                    lines.append(f"# HELP {pname} {escaped}")
                 ptype = {"counter": "counter", "gauge": "gauge",
                          "histogram": "summary"}[kind]
                 lines.append(f"# TYPE {pname} {ptype}")

@@ -1,0 +1,104 @@
+"""Worker trace shards: tracing that survives the fork boundary.
+
+Before this module, a forked child of a tracing parent simply went dark
+(``os.register_at_fork`` disabled instrumentation), so the workloads
+that fan out over processes — ``repro explore --jobs N``, multi-config
+``repro run --jobs N`` — traced only their parent.  Now a child of a
+*file-backed* tracer opens its own shard file next to the parent's::
+
+    out.jsonl                # parent trace
+    out.jsonl.shard-1.jsonl  # first forked worker
+    out.jsonl.shard-2.jsonl  # second forked worker
+    ...
+
+Each shard is itself a valid ``repro-trace/1`` file whose meta line
+additionally carries:
+
+* ``shard`` — the 1-based shard index (claimed atomically via
+  ``open(..., "x")``, so concurrently forked workers never collide);
+* ``parent_pid`` — the pid of the process that forked this one;
+* ``forked_under`` — the span id (in the parent's trace) that was open
+  on the forking thread at fork time, or ``None``.  This is the graft
+  point: :mod:`repro.obs.merge` re-attaches the shard's root spans under
+  that parent span, so a traced ``repro explore --jobs 4`` merges into
+  one coherent tree with per-candidate worker spans under
+  ``explore.map``.
+
+A shard tracer re-uses the parent's ``time.perf_counter`` epoch —
+``CLOCK_MONOTONIC`` is system-wide, so parent and worker timestamps
+land on one comparable timeline — but starts a fresh span-id counter
+(ids are only unique *per shard*; the merge re-numbers them globally).
+Shards are line-buffered and valid without a closing metrics line,
+because pool teardown SIGTERMs idle workers without running ``atexit``.
+
+Only the ``fork`` start method shards; ``spawn`` children re-import from
+scratch and simply run untraced.  A worker that forks again shards off
+its own trace file one more level; :func:`repro.obs.merge.find_shards`
+only stitches the first level — none of the repo's pools nest.
+"""
+
+from __future__ import annotations
+
+from repro.obs.tracing import Tracer
+
+__all__ = ["MAX_SHARDS", "shard_path", "ShardTracer", "fork_shard"]
+
+#: Sanity bound on the shard-index claim loop (a pool has ~cpu workers;
+#: thousands of shards of one trace means something is forking wild).
+MAX_SHARDS = 10_000
+
+
+def shard_path(parent_path: str, index: int) -> str:
+    """The shard file of *parent_path* with 1-based index *index*."""
+    return f"{parent_path}.shard-{index}.jsonl"
+
+
+class ShardTracer(Tracer):
+    """A child process's tracer, writing one shard of the parent trace."""
+
+    def __init__(self, parent: Tracer, handle, path: str, index: int,
+                 forked_under: int | None) -> None:
+        # meta_line() runs inside super().__init__ on the file-backed
+        # path only; here the shard fields must exist before the first
+        # _write_line below, and super() is called with no path so it
+        # opens nothing.
+        self.shard_index = index
+        self.parent_pid = parent.pid
+        self.forked_under = forked_under
+        super().__init__(None)
+        self.epoch = parent.epoch       # one timeline across processes
+        self.path = path
+        self._file = handle
+        self._write_line(self.meta_line())
+
+    def meta_line(self) -> dict:
+        line = super().meta_line()
+        line.update({"shard": self.shard_index,
+                     "parent_pid": self.parent_pid,
+                     "forked_under": self.forked_under})
+        return line
+
+
+def fork_shard(parent: Tracer) -> ShardTracer:
+    """Turn an inherited parent tracer into this child's shard tracer.
+
+    Must be called exactly once, immediately after fork, in the child
+    (the ``after_in_child`` hook in :mod:`repro.obs` does).  Reads the
+    forking thread's span stack for the graft point, abandons the
+    inherited parent file handle unflushed, then claims the lowest free
+    shard index with an exclusive create.
+    """
+    if parent.path is None:
+        raise ValueError("cannot shard an in-memory tracer (no file)")
+    stack = parent.stack()
+    forked_under = stack[-1].span_id if stack else None
+    parent.abandon()
+    for index in range(1, MAX_SHARDS + 1):
+        path = shard_path(parent.path, index)
+        try:
+            handle = open(path, "x", buffering=1)
+        except FileExistsError:
+            continue
+        return ShardTracer(parent, handle, path, index, forked_under)
+    raise RuntimeError(
+        f"no free shard slot under {parent.path} after {MAX_SHARDS} tries")

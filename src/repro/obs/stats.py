@@ -1,4 +1,4 @@
-"""Read back ``repro-trace/1`` files: span trees, metric tables, Chrome.
+"""Read back ``repro-trace/1`` files: span trees, metrics, Chrome, diffs.
 
 ``repro stats out.jsonl`` is a thin CLI over this module:
 
@@ -9,11 +9,17 @@
 * :func:`format_metric_table` renders the metrics snapshot;
 * :func:`write_chrome_trace` converts the span lines into the Chrome
   trace-event JSON **array** format that ``chrome://tracing`` and
-  Perfetto load directly.
+  Perfetto load directly;
+* :func:`diff_traces` / :func:`format_trace_diff` align two traces by
+  span *path* and report wall/CPU/RSS and metric deltas past a
+  significance threshold (``repro stats --diff A.jsonl B.jsonl`` —
+  "did PR N slow the energy stage?" as one command).
 
 The line schema is documented in :mod:`repro.obs.tracing` and
 ``docs/observability.md``; :func:`load_trace` validates it and raises
 :class:`TraceError` with the offending line number on any violation.
+Worker shards of a multi-process trace are stitched back in by
+:mod:`repro.obs.merge`.
 """
 
 from __future__ import annotations
@@ -24,7 +30,9 @@ from dataclasses import dataclass, field
 from repro.obs.tracing import TRACE_FORMAT
 
 __all__ = ["TraceError", "SpanNode", "TraceFile", "load_trace",
-           "format_span_tree", "format_metric_table", "write_chrome_trace"]
+           "format_span_tree", "format_metric_table", "write_chrome_trace",
+           "span_paths", "PathStats", "TraceDiff", "diff_traces",
+           "format_trace_diff"]
 
 #: Keys every span line must carry (the documented schema).
 SPAN_KEYS = ("name", "id", "parent", "ph", "ts", "dur", "pid", "tid",
@@ -63,6 +71,7 @@ class TraceFile:
     roots: list[SpanNode]
     events: list[dict]              # span events in file order
     metrics: list[dict]             # rows of the final metrics snapshot
+    dropped: int = 0                # spans the in-memory forest refused
 
     def span_names(self) -> set[str]:
         return {event["name"] for event in self.events}
@@ -73,6 +82,7 @@ def load_trace(path: str) -> TraceFile:
     meta: dict | None = None
     events: list[dict] = []
     metrics: list[dict] = []
+    dropped = 0
     with open(path) as handle:
         for lineno, line in enumerate(handle, start=1):
             line = line.strip()
@@ -98,13 +108,14 @@ def load_trace(path: str) -> TraceFile:
                 events.append(payload)
             elif kind == "metrics":
                 metrics = payload.get("metrics", [])
+                dropped = payload.get("dropped", 0)
             else:
                 raise TraceError(
                     f"{path}:{lineno}: unknown line type {kind!r}")
     if meta is None:
         raise TraceError(f"{path}: empty trace file")
     return TraceFile(meta=meta, roots=_link(events), events=events,
-                     metrics=metrics)
+                     metrics=metrics, dropped=dropped)
 
 
 def _link(events: list[dict]) -> list[SpanNode]:
@@ -178,6 +189,167 @@ def format_metric_table(trace: TraceFile) -> str:
         else:
             lines.append(f"{row['name']:<34} {labels:<34} "
                          f"{row['value']:>14.6g}")
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# trace diffing (repro stats --diff A.jsonl B.jsonl)
+# ----------------------------------------------------------------------
+@dataclass
+class PathStats:
+    """Aggregated cost of every span sharing one root-to-node path."""
+
+    count: int = 0
+    wall_ms: float = 0.0
+    cpu_ms: float = 0.0
+    rss_peak_kb: float = 0.0        # max, not sum: RSS is a level
+
+    def add(self, event: dict) -> None:
+        self.count += 1
+        self.wall_ms += event["dur"] / 1e3
+        self.cpu_ms += event["cpu_ms"]
+        self.rss_peak_kb = max(self.rss_peak_kb, event["rss_peak_kb"])
+
+
+def span_paths(trace: TraceFile) -> dict[str, PathStats]:
+    """Aggregate the forest by span *path* (``a.b/c.d/...`` from root).
+
+    Spans with the same path — every ``train.epoch`` under the same
+    stage, every worker's ``explore.candidate`` under ``explore.map`` —
+    fold into one row, which is what makes two runs of the same workload
+    alignable even when counts and interleavings differ.
+    """
+    paths: dict[str, PathStats] = {}
+
+    def walk(node: SpanNode, prefix: str) -> None:
+        path = f"{prefix}/{node.name}" if prefix else node.name
+        paths.setdefault(path, PathStats()).add(node.event)
+        for child in node.children:
+            walk(child, path)
+
+    for root in trace.roots:
+        walk(root, "")
+    return paths
+
+
+@dataclass
+class DiffRow:
+    """One aligned span path (or metric) across the two traces."""
+
+    path: str
+    a: PathStats
+    b: PathStats
+
+    @property
+    def wall_delta_ms(self) -> float:
+        return self.b.wall_ms - self.a.wall_ms
+
+    @property
+    def wall_pct(self) -> float | None:
+        """Relative wall change vs. A (None when A has no such span)."""
+        if self.a.count == 0 or self.a.wall_ms == 0.0:
+            return None
+        return 100.0 * self.wall_delta_ms / self.a.wall_ms
+
+
+@dataclass
+class MetricDelta:
+    name: str
+    labels: str
+    value_a: float | None
+    value_b: float | None
+
+    @property
+    def delta(self) -> float:
+        return (self.value_b or 0.0) - (self.value_a or 0.0)
+
+
+@dataclass
+class TraceDiff:
+    """The full alignment; ``significant`` applies the threshold."""
+
+    rows: list[DiffRow]             # every aligned span path
+    metrics: list[MetricDelta]      # counter/gauge deltas (nonzero only)
+    threshold_pct: float
+
+    def significant(self) -> list[DiffRow]:
+        picked = []
+        for row in self.rows:
+            if row.a.count == 0 or row.b.count == 0:
+                picked.append(row)          # appeared / disappeared
+            elif row.wall_pct is not None \
+                    and abs(row.wall_pct) >= self.threshold_pct:
+                picked.append(row)
+        return picked
+
+
+def diff_traces(a: TraceFile, b: TraceFile,
+                threshold_pct: float = 5.0) -> TraceDiff:
+    """Align *a* and *b* by span path; collect wall and metric deltas."""
+    paths_a = span_paths(a)
+    paths_b = span_paths(b)
+    rows = [DiffRow(path, paths_a.get(path, PathStats()),
+                    paths_b.get(path, PathStats()))
+            for path in sorted(set(paths_a) | set(paths_b))]
+
+    def scalar_values(trace: TraceFile) -> dict:
+        values = {}
+        for row in trace.metrics:
+            key = (row["name"],
+                   ",".join(f"{k}={v}"
+                            for k, v in sorted(row["labels"].items())))
+            if row["kind"] == "histogram":
+                values[key] = row["count"]
+            else:
+                values[key] = row["value"]
+        return values
+
+    metrics_a = scalar_values(a)
+    metrics_b = scalar_values(b)
+    deltas = []
+    for name, labels in sorted(set(metrics_a) | set(metrics_b)):
+        delta = MetricDelta(name, labels,
+                            metrics_a.get((name, labels)),
+                            metrics_b.get((name, labels)))
+        if delta.delta != 0.0 or delta.value_a is None \
+                or delta.value_b is None:
+            deltas.append(delta)
+    return TraceDiff(rows=rows, metrics=deltas,
+                     threshold_pct=threshold_pct)
+
+
+def format_trace_diff(diff: TraceDiff) -> str:
+    """Render the significant rows of a :class:`TraceDiff` as a table."""
+    lines = [f"{'span path':<52} {'wall_a_ms':>10} {'wall_b_ms':>10} "
+             f"{'delta_ms':>10} {'delta%':>8}",
+             "-" * 94]
+    for row in diff.significant():
+        if row.a.count == 0:
+            pct = "new"
+        elif row.b.count == 0:
+            pct = "gone"
+        else:
+            pct = f"{row.wall_pct:+.1f}%"
+        label = row.path if len(row.path) <= 52 else "…" + row.path[-51:]
+        lines.append(f"{label:<52} {row.a.wall_ms:>10.2f} "
+                     f"{row.b.wall_ms:>10.2f} {row.wall_delta_ms:>+10.2f} "
+                     f"{pct:>8}")
+    if len(lines) == 2:
+        lines.append(f"(no span path moved by >= {diff.threshold_pct:g}%)")
+    lines.append("")
+    lines.append(f"{len(diff.rows)} span paths aligned, "
+                 f"{len(diff.significant())} past the "
+                 f"{diff.threshold_pct:g}% threshold")
+    if diff.metrics:
+        lines.append("")
+        lines.append(f"{'metric':<38} {'labels':<26} {'a':>10} {'b':>10} "
+                     f"{'delta':>10}")
+        lines.append("-" * 98)
+        for delta in diff.metrics:
+            a_txt = "-" if delta.value_a is None else f"{delta.value_a:g}"
+            b_txt = "-" if delta.value_b is None else f"{delta.value_b:g}"
+            lines.append(f"{delta.name:<38} {delta.labels:<26} "
+                         f"{a_txt:>10} {b_txt:>10} {delta.delta:>+10g}")
     return "\n".join(lines)
 
 

@@ -31,9 +31,13 @@ array that ``chrome://tracing`` / Perfetto load directly (see
 ``docs/observability.md``).
 
 Fork safety: a forked child (the explore worker pool under the ``fork``
-start method) must not inherit an enabled tracer writing to the parent's
-file handle, so tracing disables itself in children via
-``os.register_at_fork``.
+start method) must not write to the parent's inherited file handle.  A
+child of a *file-backed* tracer re-opens its own shard file instead
+(``<trace>.shard-<n>.jsonl``, see :mod:`repro.obs.shard`) and the
+inherited parent handle is abandoned unflushed via :meth:`Tracer.abandon`;
+a child of an in-memory-only tracer still self-disables — it has nowhere
+to report spans to.  Both paths hang off ``os.register_at_fork`` in
+:mod:`repro.obs`.
 """
 
 from __future__ import annotations
@@ -49,6 +53,12 @@ except ImportError:                    # pragma: no cover - non-POSIX
     resource = None  # type: ignore[assignment]
 
 __all__ = ["TRACE_FORMAT", "MAX_KEPT_SPANS", "Span", "Tracer"]
+
+#: Inherited-across-fork file objects a child abandoned.  Kept alive on
+#: purpose: letting the garbage collector close them would flush any
+#: parent bytes still sitting in the inherited userspace buffer into the
+#: parent's file — from the wrong process.
+_ABANDONED_FILES: list = []
 
 #: Schema tag of the first line of every trace file.
 TRACE_FORMAT = "repro-trace/1"
@@ -192,7 +202,10 @@ class Tracer:
         if trace_path is not None:
             directory = os.path.dirname(os.path.abspath(trace_path))
             os.makedirs(directory, exist_ok=True)
-            self._file = open(trace_path, "w")
+            # line buffered: every span line hits the OS as it is written,
+            # so shards survive worker SIGTERM and a fork never inherits a
+            # half-filled userspace buffer (see Tracer.abandon)
+            self._file = open(trace_path, "w", buffering=1)
             self._write_line(self.meta_line())
 
     # ------------------------------------------------------------------
@@ -236,13 +249,37 @@ class Tracer:
                 return
             self._file.write(json.dumps(payload) + "\n")
 
-    def write_metrics(self, rows: list[dict]) -> None:
-        """Append the closing metrics snapshot line."""
+    def write_metrics(self, rows: list[dict], dropped: int = 0) -> None:
+        """Append the closing metrics snapshot line.
+
+        *dropped* > 0 stamps how many finished spans the in-memory
+        forest refused past :data:`MAX_KEPT_SPANS` — the cap must never
+        be silent (the JSONL file itself keeps every span regardless).
+        """
         if self._file is not None:
-            self._write_line({"type": "metrics", "metrics": rows})
+            payload: dict = {"type": "metrics", "metrics": rows}
+            if dropped:
+                payload["dropped"] = dropped
+            self._write_line(payload)
 
     def close(self) -> None:
         with self._file_lock:
             if self._file is not None:
                 self._file.close()
                 self._file = None
+
+    def abandon(self) -> None:
+        """Forget an inherited file handle without flushing or closing.
+
+        Called in a freshly forked child on the tracer it inherited: the
+        handle (and any buffered parent bytes in it) belongs to the
+        parent process, so the child must neither write, flush nor close
+        it — it is parked in :data:`_ABANDONED_FILES` so garbage
+        collection cannot flush it either.  The child is single-threaded
+        at this point, so the (possibly mid-write-locked) inherited
+        ``_file_lock`` is deliberately not taken.
+        """
+        file = self._file
+        self._file = None
+        if file is not None:
+            _ABANDONED_FILES.append(file)

@@ -25,6 +25,7 @@ from typing import Callable
 
 import numpy as np
 
+from repro import obs
 from repro.serving.metrics import ServingMetrics
 
 __all__ = ["BatchSettings", "MicroBatcher"]
@@ -188,9 +189,10 @@ class MicroBatcher:
                               []).append(request)
         for (key, _shape), requests in groups.items():
             try:
-                model = self._resolve(key)
-                scores = model.forward(
-                    np.concatenate([r.x for r in requests], axis=0))
+                with obs.span("serving.batch", requests=len(requests)):
+                    model = self._resolve(key)
+                    scores = model.forward(
+                        np.concatenate([r.x for r in requests], axis=0))
             except Exception as error:
                 for request in requests:
                     self._resolve_future(request.future, error=error)

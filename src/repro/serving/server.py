@@ -30,6 +30,7 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
 import numpy as np
 
+from repro import obs
 from repro.serving.batching import BatchSettings, MicroBatcher
 from repro.serving.metrics import ServingMetrics
 from repro.serving.registry import ModelRegistry, default_registry
@@ -153,10 +154,12 @@ class _Handler(BaseHTTPRequestHandler):
             # resolve once and pin the version, so the batch, the energy
             # estimate and the metrics all describe the same model even if
             # the registry is mutated mid-request
-            entry = self.server.registry.entry(name, version)
-            future = self.server.batcher.submit((name, entry.version),
-                                                inputs)
-            scores = future.result(timeout=30.0)
+            with obs.span("serving.request", model=name,
+                          samples=1 if inputs.ndim == 1 else len(inputs)):
+                entry = self.server.registry.entry(name, version)
+                future = self.server.batcher.submit((name, entry.version),
+                                                    inputs)
+                scores = future.result(timeout=30.0)
         except KeyError as error:
             self._send_error_json(
                 404, str(error.args[0]) if error.args else str(error))

@@ -183,6 +183,30 @@ class TestPrometheus:
     def test_empty_registry_renders_empty(self):
         assert obs.MetricsRegistry().to_prometheus() == ""
 
+    def test_help_lines_for_documented_vocabulary(self):
+        registry = obs.MetricsRegistry()
+        registry.counter("kernels.calls", backend="fast",
+                         kernel="dense").inc()
+        text = registry.to_prometheus()
+        assert "# HELP kernels_calls " \
+               "Kernel dispatches per backend and kernel\n" \
+               "# TYPE kernels_calls counter" in text
+
+    def test_help_precedes_type_and_escapes(self):
+        registry = obs.MetricsRegistry()
+        registry.describe("local.metric", "line one\nline two \\ done")
+        registry.gauge("local.metric").set(1)
+        text = registry.to_prometheus()
+        assert "# HELP local_metric line one\\nline two \\\\ done\n" \
+               "# TYPE local_metric gauge" in text
+
+    def test_undocumented_metric_has_no_help_line(self):
+        registry = obs.MetricsRegistry()
+        registry.counter("adhoc.thing").inc()
+        text = registry.to_prometheus()
+        assert "# HELP" not in text
+        assert "# TYPE adhoc_thing counter" in text
+
 
 # ----------------------------------------------------------------------
 # spans and the global switch
@@ -392,3 +416,38 @@ class TestTracedPipeline:
         assert not obs.enabled()
         assert obs.spans() == []
         assert obs.registry().to_dict() == []
+
+
+# ----------------------------------------------------------------------
+# the in-memory span cap must never be silent
+# ----------------------------------------------------------------------
+class TestDroppedSpans:
+    def test_dropped_spans_counted_and_stamped(self, tmp_path,
+                                               monkeypatch):
+        import repro.obs.tracing as tracing
+        from repro.obs.stats import load_trace
+
+        monkeypatch.setattr(tracing, "MAX_KEPT_SPANS", 3)
+        trace = str(tmp_path / "t.jsonl")
+        obs.enable(trace_path=trace)
+        for _ in range(5):
+            with obs.span("tick"):
+                pass
+        obs.disable()
+        assert obs.registry().counter("obs.spans_dropped").value == 2.0
+        loaded = load_trace(trace)
+        assert loaded.dropped == 2
+        # the JSONL file itself keeps every span regardless of the cap
+        assert len(loaded.events) == 5
+
+    def test_no_drop_no_counter_no_stamp(self, tmp_path):
+        from repro.obs.stats import load_trace
+
+        trace = str(tmp_path / "t.jsonl")
+        obs.enable(trace_path=trace)
+        with obs.span("one"):
+            pass
+        obs.disable()
+        rows = {row["name"] for row in obs.registry().to_dict()}
+        assert "obs.spans_dropped" not in rows
+        assert load_trace(trace).dropped == 0

@@ -1,0 +1,370 @@
+"""Cross-process telemetry tests: worker trace shards, shard merging,
+trace diffing, and the serial-vs-parallel structural identity of a
+traced exploration (merged span forests match, journals stay
+bit-identical)."""
+
+import json
+import multiprocessing
+import os
+import time
+
+import pytest
+
+from repro import obs
+from repro.explore import SearchSpace, run_exploration
+from repro.obs.merge import (
+    find_shards,
+    load_shard,
+    merge_trace,
+    write_merged_trace,
+)
+from repro.obs.shard import MAX_SHARDS, ShardTracer, fork_shard, shard_path
+from repro.obs.stats import (
+    TraceError,
+    diff_traces,
+    format_trace_diff,
+    load_trace,
+    span_paths,
+)
+
+pytestmark = pytest.mark.skipif(
+    "fork" not in multiprocessing.get_all_start_methods(),
+    reason="worker shards require the fork start method")
+
+
+@pytest.fixture(autouse=True)
+def obs_isolation():
+    """Every test starts and ends with obs disabled and empty."""
+    obs.reset()
+    yield
+    obs.reset()
+
+
+def _fork_traced_worker(trace, body):
+    """Fork one traced child running *body*; wait for a clean exit."""
+    obs.enable(trace_path=trace)
+    with obs.span("parent.root"):
+        ctx = multiprocessing.get_context("fork")
+        process = ctx.Process(target=body)
+        process.start()
+        process.join(timeout=30)
+    obs.disable()
+    assert process.exitcode == 0
+
+
+def _child_two_spans():
+    with obs.span("child.outer", worker=1):
+        with obs.span("child.inner"):
+            time.sleep(0.001)
+
+
+# ----------------------------------------------------------------------
+# shard files
+# ----------------------------------------------------------------------
+class TestShards:
+    def test_shard_path(self):
+        assert shard_path("out.jsonl", 3) == "out.jsonl.shard-3.jsonl"
+
+    def test_forked_child_writes_a_valid_shard(self, tmp_path):
+        trace = str(tmp_path / "t.jsonl")
+        _fork_traced_worker(trace, _child_two_spans)
+
+        shards = find_shards(trace)
+        assert shards == [shard_path(trace, 1)]
+        shard = load_shard(shards[0])
+        assert shard.meta["format"] == obs.TRACE_FORMAT
+        assert shard.meta["shard"] == 1
+        assert shard.meta["parent_pid"] == load_trace(trace).meta["pid"]
+        assert shard.meta["pid"] != shard.meta["parent_pid"]
+        assert [n.name for n in shard.roots] == ["child.outer"]
+        assert [n.name for n in shard.roots[0].children] == ["child.inner"]
+
+    def test_clean_child_exit_appends_metrics_line(self, tmp_path):
+        trace = str(tmp_path / "t.jsonl")
+        _fork_traced_worker(trace, _child_two_spans)
+        with open(find_shards(trace)[0]) as handle:
+            last = json.loads(handle.readlines()[-1])
+        assert last["type"] == "metrics"
+
+    def test_shard_records_fork_graft_point(self, tmp_path):
+        trace = str(tmp_path / "t.jsonl")
+        _fork_traced_worker(trace, _child_two_spans)
+        parent = load_trace(trace)
+        shard = load_shard(find_shards(trace)[0])
+        root_id = next(e["id"] for e in parent.events
+                       if e["name"] == "parent.root")
+        assert shard.meta["forked_under"] == root_id
+
+    def test_parent_trace_stays_well_formed(self, tmp_path):
+        trace = str(tmp_path / "t.jsonl")
+        _fork_traced_worker(trace, _child_two_spans)
+        parent = load_trace(trace)
+        assert [n.name for n in parent.roots] == ["parent.root"]
+
+    def test_fork_shard_rejects_in_memory_tracer(self):
+        obs.enable()        # no trace file
+        with pytest.raises(ValueError, match="in-memory"):
+            fork_shard(obs.tracer())
+
+    def test_shard_indices_claimed_exclusively(self, tmp_path):
+        trace = str(tmp_path / "t.jsonl")
+        obs.enable(trace_path=trace)
+        # simulate an already-claimed slot: the next shard must skip it
+        open(shard_path(trace, 1), "x").close()
+        shard = fork_shard(obs.tracer())
+        try:
+            assert isinstance(shard, ShardTracer)
+            assert shard.shard_index == 2
+            assert shard.path == shard_path(trace, 2)
+        finally:
+            shard.close()
+        assert MAX_SHARDS >= 1000
+
+    def test_find_shards_sorted_by_index_not_lexically(self, tmp_path):
+        trace = str(tmp_path / "t.jsonl")
+        open(trace, "w").close()
+        for index in (10, 2, 1):
+            open(shard_path(trace, index), "w").close()
+        assert [os.path.basename(p) for p in find_shards(trace)] == [
+            "t.jsonl.shard-1.jsonl", "t.jsonl.shard-2.jsonl",
+            "t.jsonl.shard-10.jsonl"]
+
+
+# ----------------------------------------------------------------------
+# merging
+# ----------------------------------------------------------------------
+class TestMerge:
+    def test_merge_grafts_worker_spans_under_fork_span(self, tmp_path):
+        trace = str(tmp_path / "t.jsonl")
+        _fork_traced_worker(trace, _child_two_spans)
+        merged = merge_trace(trace)
+        assert [n.name for n in merged.roots] == ["parent.root"]
+        child_names = [n.name for n in merged.roots[0].children]
+        assert "child.outer" in child_names
+        assert merged.meta["merged_shards"] == 1
+
+    def test_merge_renumbers_ids_globally(self, tmp_path):
+        trace = str(tmp_path / "t.jsonl")
+        _fork_traced_worker(trace, _child_two_spans)
+        merged = merge_trace(trace)
+        ids = [event["id"] for event in merged.events]
+        assert len(ids) == len(set(ids))
+        assert sorted(ids) == list(range(1, len(ids) + 1))
+
+    def test_merge_preserves_worker_pids(self, tmp_path):
+        trace = str(tmp_path / "t.jsonl")
+        _fork_traced_worker(trace, _child_two_spans)
+        merged = merge_trace(trace)
+        pids = {event["pid"] for event in merged.events}
+        assert len(pids) == 2        # parent + one worker
+
+    def test_merged_trace_round_trips_through_file(self, tmp_path):
+        trace = str(tmp_path / "t.jsonl")
+        _fork_traced_worker(trace, _child_two_spans)
+        out = str(tmp_path / "merged.jsonl")
+        write_merged_trace(trace, out)
+        # no shards next to the merged file: loads as a plain trace
+        loaded = load_trace(out)
+        assert len(loaded.events) == len(merge_trace(trace).events)
+        assert [n.name for n in loaded.roots] == ["parent.root"]
+
+    def test_plain_trace_is_not_a_shard(self, tmp_path):
+        trace = str(tmp_path / "t.jsonl")
+        obs.enable(trace_path=trace)
+        with obs.span("a"):
+            pass
+        obs.disable()
+        with pytest.raises(TraceError, match="not a worker shard"):
+            load_shard(trace)
+
+    def test_merge_rejects_foreign_shard(self, tmp_path):
+        trace_a = str(tmp_path / "a.jsonl")
+        trace_b = str(tmp_path / "b.jsonl")
+        _fork_traced_worker(trace_a, _child_two_spans)
+        obs.reset()
+        _fork_traced_worker(trace_b, _child_two_spans)
+        # a shard of b presented as a shard of a: parent pid mismatch
+        # (same process wrote both parents, so fake a different pid)
+        shard_of_b = find_shards(trace_b)[0]
+        lines = open(shard_of_b).read().splitlines()
+        meta = json.loads(lines[0])
+        meta["parent_pid"] = meta["parent_pid"] + 1
+        lines[0] = json.dumps(meta)
+        open(shard_of_b, "w").write("\n".join(lines) + "\n")
+        with pytest.raises(TraceError, match="forked from pid"):
+            merge_trace(trace_b)
+
+    def test_merge_rejects_malformed_shard(self, tmp_path):
+        trace = str(tmp_path / "t.jsonl")
+        _fork_traced_worker(trace, _child_two_spans)
+        with open(shard_path(trace, 2), "w") as handle:
+            handle.write("this is not json\n")
+        with pytest.raises(TraceError):
+            merge_trace(trace)
+
+    def test_merge_without_shards_is_identity(self, tmp_path):
+        trace = str(tmp_path / "t.jsonl")
+        obs.enable(trace_path=trace)
+        with obs.span("solo"):
+            pass
+        obs.disable()
+        merged = merge_trace(trace)
+        assert merged.meta["merged_shards"] == 0
+        assert [n.name for n in merged.roots] == ["solo"]
+
+
+# ----------------------------------------------------------------------
+# trace diffing
+# ----------------------------------------------------------------------
+def _write_trace(path, spans, metrics=()):
+    """Hand-author a minimal repro-trace/1 file for diff tests."""
+    with open(path, "w") as handle:
+        handle.write(json.dumps({
+            "type": "meta", "format": obs.TRACE_FORMAT,
+            "repro_version": "test", "pid": 1, "created_unix": 0}) + "\n")
+        for index, (name, parent, dur_us) in enumerate(spans, start=1):
+            handle.write(json.dumps({
+                "type": "span",
+                "name": name, "ph": "X", "id": index, "parent": parent,
+                "ts": index, "dur": dur_us, "pid": 1, "tid": 1,
+                "cpu_ms": dur_us / 1e3, "rss_peak_kb": 1000,
+                "rss_grew_kb": 0, "error": None, "args": {}}) + "\n")
+        handle.write(json.dumps({"type": "metrics",
+                                 "metrics": list(metrics)}) + "\n")
+    return path
+
+
+class TestDiff:
+    def test_aligns_by_span_path_and_flags_significant(self, tmp_path):
+        a = load_trace(_write_trace(
+            str(tmp_path / "a.jsonl"),
+            [("root", None, 100_000), ("step", 1, 50_000)]))
+        b = load_trace(_write_trace(
+            str(tmp_path / "b.jsonl"),
+            [("root", None, 100_000), ("step", 1, 80_000)]))
+        diff = diff_traces(a, b, threshold_pct=5.0)
+        rows = {row.path: row for row in diff.significant()}
+        assert "root/step" in rows
+        assert rows["root/step"].wall_pct == pytest.approx(60.0)
+        assert "root" not in rows          # unchanged
+
+    def test_appeared_and_disappeared_paths_are_significant(self, tmp_path):
+        a = load_trace(_write_trace(str(tmp_path / "a.jsonl"),
+                                    [("root", None, 1000),
+                                     ("gone", 1, 1000)]))
+        b = load_trace(_write_trace(str(tmp_path / "b.jsonl"),
+                                    [("root", None, 1000),
+                                     ("new", 1, 1000)]))
+        paths = {row.path for row in diff_traces(a, b).significant()}
+        assert paths == {"root/gone", "root/new"}
+
+    def test_metric_deltas(self, tmp_path):
+        row_a = {"name": "kernels.calls", "kind": "counter",
+                 "labels": {"backend": "fast"}, "value": 10}
+        row_b = dict(row_a, value=14)
+        a = load_trace(_write_trace(str(tmp_path / "a.jsonl"),
+                                    [("root", None, 1000)], [row_a]))
+        b = load_trace(_write_trace(str(tmp_path / "b.jsonl"),
+                                    [("root", None, 1000)], [row_b]))
+        diff = diff_traces(a, b)
+        deltas = {(d.name, d.labels): d.delta for d in diff.metrics}
+        assert deltas[("kernels.calls", "backend=fast")] == 4
+
+    def test_format_trace_diff_renders(self, tmp_path):
+        a = load_trace(_write_trace(str(tmp_path / "a.jsonl"),
+                                    [("root", None, 100_000)]))
+        b = load_trace(_write_trace(str(tmp_path / "b.jsonl"),
+                                    [("root", None, 200_000)]))
+        text = format_trace_diff(diff_traces(a, b))
+        assert "root" in text
+        assert "+100.0%" in text
+
+    def test_span_paths_counts_repeats(self, tmp_path):
+        trace = load_trace(_write_trace(
+            str(tmp_path / "a.jsonl"),
+            [("root", None, 1000), ("step", 1, 400), ("step", 1, 600)]))
+        stats = span_paths(trace)
+        assert stats["root/step"].count == 2
+        assert stats["root/step"].wall_ms == pytest.approx(1.0)
+
+
+# ----------------------------------------------------------------------
+# traced exploration: serial == parallel, journals stay bit-identical
+# ----------------------------------------------------------------------
+TINY = {"name": "tiny", "n_train": 250, "n_test": 120,
+        "max_epochs": 3, "retrain_epochs": 2}
+
+
+def _tiny_space():
+    return SearchSpace(app="face", designs=("conventional", "asm1"),
+                       budgets=(TINY,), seeds=(0, 1))
+
+
+def _normalize(node):
+    """Structure key: names + parentage + candidate identity, no timing.
+
+    Children are sorted (parallel completion order is nondeterministic)
+    and only the identity attributes of candidate spans are kept (other
+    spans' args legitimately differ between jobs=1 and jobs=N, e.g. the
+    ``jobs`` attribute of ``explore.map``).
+    """
+    args = node.event.get("args", {})
+    identity = tuple(sorted(
+        (k, v) for k, v in args.items()
+        if node.name == "explore.candidate"
+        and k in ("design", "seed", "digest")))
+    return (node.name, identity,
+            tuple(sorted(_normalize(child) for child in node.children)))
+
+
+def _journal_bytes(journal_dir):
+    records = os.path.join(journal_dir, "records")
+    return {name: open(os.path.join(records, name), "rb").read()
+            for name in sorted(os.listdir(records))}
+
+
+@pytest.mark.slow
+def test_traced_parallel_explore_matches_serial(tmp_path):
+    cache = str(tmp_path / "cache")
+    space = _tiny_space()
+
+    # untraced first: its journal is the bit-identity reference and it
+    # warms the shared stage cache, so both traced runs see the same
+    # cache state (cold vs. warm runs legitimately differ in span
+    # structure — a cold stage has train.epoch children, a warm one not)
+    untraced_dir = str(tmp_path / "untraced")
+    run_exploration(space, untraced_dir, cache_dir=cache, jobs=4)
+
+    serial_dir = str(tmp_path / "serial")
+    serial_trace = str(tmp_path / "serial.jsonl")
+    obs.enable(trace_path=serial_trace)
+    run_exploration(space, serial_dir, cache_dir=cache, jobs=1)
+    obs.disable()
+    obs.reset()
+
+    parallel_dir = str(tmp_path / "parallel")
+    parallel_trace = str(tmp_path / "parallel.jsonl")
+    obs.enable(trace_path=parallel_trace)
+    run_exploration(space, parallel_dir, cache_dir=cache, jobs=4)
+    obs.disable()
+    obs.reset()
+
+    # the parallel run actually sharded, with candidate spans in workers
+    shards = find_shards(parallel_trace)
+    assert shards, "a traced --jobs 4 run must leave worker shards"
+    worker_candidates = [
+        event for path in shards for event in load_shard(path).events
+        if event["name"] == "explore.candidate"]
+    assert worker_candidates
+    parent_pid = load_trace(parallel_trace).meta["pid"]
+    assert all(e["pid"] != parent_pid for e in worker_candidates)
+
+    # merged span forests are structurally identical
+    serial = merge_trace(serial_trace)
+    parallel = merge_trace(parallel_trace)
+    assert sorted(_normalize(root) for root in serial.roots) == \
+        sorted(_normalize(root) for root in parallel.roots)
+
+    # journals are bit-identical: serial vs parallel vs untraced
+    assert _journal_bytes(serial_dir) == _journal_bytes(parallel_dir)
+    assert _journal_bytes(serial_dir) == _journal_bytes(untraced_dir)
