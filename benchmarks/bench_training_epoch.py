@@ -1,0 +1,125 @@
+"""Whole-epoch training throughput: planned fast kernels vs reference.
+
+The training-kernel family (:mod:`repro.kernels.training`) claims a
+bit-identical fast path for the forward/backward/update loop that
+dominates every ``train`` and ``constrain`` stage.  This bench times one
+constrained-retraining epoch of the paper-scale 8-bit MLP — Algorithm
+2's inner loop: mini-batch SGD with the weight projection after every
+step — end to end on both backends, asserts the resulting parameters
+are bitwise identical, and merges ``train_epoch_mlp_8b`` (gated) plus
+an informational plain-epoch section into ``BENCH_training.json``
+alongside the projection-kernel rows.  The ``perf-smoke`` CI job runs
+it and enforces the epoch speedup floor.
+"""
+
+import time
+
+import numpy as np
+from conftest import emit, emit_json
+
+from repro.asm.alphabet import ALPHA_2
+from repro.datasets.registry import mlp
+from repro.hardware.report import format_table
+from repro.nn.optim import SGD
+from repro.nn.trainer import Trainer
+from repro.training.constrained import (
+    ConstraintProjector,
+    constrained_trainer,
+)
+
+#: acceptance bar: fast >= 2x reference on the 8-bit constrained epoch
+SPEEDUP_FLOOR = 2.0
+
+SIZES = [1024, 100, 10]
+BITS = 8
+BATCH = 32
+N_SAMPLES = 2048
+
+
+def _epoch_data(rng):
+    x = rng.normal(size=(N_SAMPLES, SIZES[0]))
+    y = np.eye(SIZES[-1])[rng.integers(0, SIZES[-1], size=N_SAMPLES)]
+    return x, y
+
+
+def _build(backend, constrained):
+    network = mlp(SIZES, name="bench", seed=5)
+    network.set_train_backend(backend)
+    optimizer = SGD(network, learning_rate=0.05, momentum=0.9)
+    if constrained:
+        projector = ConstraintProjector(network, BITS, ALPHA_2,
+                                        backend=backend)
+        trainer = constrained_trainer(network, optimizer, projector,
+                                      batch_size=BATCH,
+                                      rng=np.random.default_rng(5))
+    else:
+        trainer = Trainer(network, optimizer, batch_size=BATCH,
+                          rng=np.random.default_rng(5))
+    return network, trainer
+
+
+def _epoch_ms(trainer, x, y, passes=3):
+    """Best-of-*passes* ms per epoch (first pass warms plans/caches)."""
+    trainer.train_epoch(x, y)
+    best = float("inf")
+    for _ in range(passes):
+        start = time.perf_counter()
+        trainer.train_epoch(x, y)
+        best = min(best, time.perf_counter() - start)
+    return best * 1e3
+
+
+def _state_bytes(network):
+    return b"".join(param.tobytes() for layer in network.state()
+                    for param in layer.values())
+
+
+def test_training_epoch_backends(benchmark):
+    x, y = _epoch_data(np.random.default_rng(7))
+
+    # identity first: two seeded epochs must agree byte for byte
+    # (the speed runs below reuse fresh trainers)
+    for constrained in (True, False):
+        net_ref, tr_ref = _build("reference", constrained)
+        net_fast, tr_fast = _build("fast", constrained)
+        loss_ref = tr_ref.train_epoch(x, y)
+        loss_fast = tr_fast.train_epoch(x, y)
+        assert loss_ref == loss_fast, \
+            f"training backends diverged (constrained={constrained})"
+        assert _state_bytes(net_ref) == _state_bytes(net_fast), \
+            f"training backends diverged (constrained={constrained})"
+
+    results = {}
+    for section, constrained in (("train_epoch_mlp_8b", True),
+                                 ("plain_epoch_mlp", False)):
+        _, tr_ref = _build("reference", constrained)
+        _, tr_fast = _build("fast", constrained)
+        ref_ms = _epoch_ms(tr_ref, x, y)
+        fast_ms = _epoch_ms(tr_fast, x, y)
+        results[section] = {
+            "batch_size": BATCH,
+            "samples": N_SAMPLES,
+            "reference_ms": round(ref_ms, 2),
+            "fast_ms": round(fast_ms, 2),
+            "speedup": round(ref_ms / fast_ms, 2),
+        }
+
+    _, timed = _build("fast", True)
+    benchmark.pedantic(timed.train_epoch, args=(x, y), rounds=1,
+                       iterations=1)
+    emit_json("training", results, merge=True)
+
+    rows = [[name, entry["samples"], entry["batch_size"],
+             f"{entry['reference_ms']:.1f}", f"{entry['fast_ms']:.1f}",
+             f"{entry['speedup']:.2f}x"]
+            for name, entry in results.items()]
+    emit("bench_training_epoch", format_table(
+        ["Workload", "Samples", "Batch", "reference (ms)", "fast (ms)",
+         "Speedup"],
+        rows, title="Training-kernel backends - one epoch, "
+                    "MLP 1024-100-10 (8-bit constrained retrain)"))
+
+    epoch_speedup = results["train_epoch_mlp_8b"]["speedup"]
+    assert epoch_speedup >= SPEEDUP_FLOOR, \
+        f"fast training epoch only {epoch_speedup:.2f}x reference on " \
+        f"the 8-bit constrained MLP (floor {SPEEDUP_FLOOR}x)"

@@ -73,7 +73,7 @@ def test_projection_backends(benchmark):
             "speedup": round(ref_ms / fast_ms, 2),
         }
     benchmark.pedantic(fast.project, rounds=3, iterations=1)
-    emit_json("training", results)
+    emit_json("training", results, merge=True)
 
     rows = [[name, entry["weights"], f"{entry['reference_ms']:.3f}",
              f"{entry['fast_ms']:.3f}", f"{entry['speedup']:.2f}x"]

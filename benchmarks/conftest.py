@@ -33,7 +33,8 @@ def emit(name: str, text: str) -> None:
         handle.write(text + "\n")
 
 
-def emit_json(name: str, results: dict, version: int = 1) -> str:
+def emit_json(name: str, results: dict, version: int = 1,
+              merge: bool = False) -> str:
     """Write machine-readable bench results as ``BENCH_<name>.json``.
 
     The one writer every perf bench shares: wraps *results* in the
@@ -46,6 +47,11 @@ def emit_json(name: str, results: dict, version: int = 1) -> str:
     numbers from different machines / releases / commits are never
     compared blindly.  The stamps are attribution only — they stay out
     of every cache key (the RPR001 allowlist covers ``benchmarks/``).
+
+    With ``merge=True`` an existing same-format payload's result
+    sections are kept (new keys win) and the stamps are refreshed —
+    multi-script suites like ``training`` combine their sections this
+    way.  A payload from another format version is replaced outright.
     """
     from repro.obs.history import git_sha
 
@@ -55,6 +61,15 @@ def emit_json(name: str, results: dict, version: int = 1) -> str:
                "git_sha": git_sha(cwd=REPO_ROOT),
                "results": results}
     path = os.path.join(REPO_ROOT, f"BENCH_{name}.json")
+    if merge:
+        try:
+            with open(path) as handle:
+                prior = json.load(handle)
+        except (OSError, ValueError):
+            prior = None
+        if prior is not None and prior.get("format") == payload["format"] \
+                and isinstance(prior.get("results"), dict):
+            payload["results"] = {**prior["results"], **results}
     with open(path, "w") as handle:
         json.dump(payload, handle, indent=2, sort_keys=True)
         handle.write("\n")

@@ -98,6 +98,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 config = config.with_overrides(backend=args.backend)
             if args.sim_backend is not None:
                 config = config.with_overrides(sim_backend=args.sim_backend)
+            if args.train_backend is not None:
+                config = config.with_overrides(
+                    train_backend=args.train_backend)
             if seeds is not None:
                 configs.extend(config.with_overrides(seed=seed)
                                for seed in seeds)
@@ -158,13 +161,16 @@ def _cmd_explore(args: argparse.Namespace) -> int:
     tracing = _start_trace(args.trace)
     try:
         space = SearchSpace.load(args.space)
-        if args.backend is not None or args.sim_backend is not None:
+        if args.backend is not None or args.sim_backend is not None \
+                or args.train_backend is not None:
             from dataclasses import replace
             overrides = {}
             if args.backend is not None:
                 overrides["backend"] = args.backend
             if args.sim_backend is not None:
                 overrides["sim_backend"] = args.sim_backend
+            if args.train_backend is not None:
+                overrides["train_backend"] = args.train_backend
             space = replace(space, **overrides)
         journal_dir = args.journal if args.journal is not None else \
             os.path.join(DEFAULT_EXPLORE_DIR, space.name)
@@ -303,18 +309,19 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         return 1
 
     for suite in suites:
-        script = os.path.join(bench_dir, SUITES[suite])
-        if not os.path.exists(script):
-            print(f"error: {script} not found", file=sys.stderr)
-            return 1
-        print(f"[bench {suite}] running {SUITES[suite]} ...")
-        proc = subprocess.run(
-            [sys.executable, "-m", "pytest", script, "-q", "-s"],
-            cwd=repo_root)
-        if proc.returncode != 0:
-            print(f"error: suite {suite!r} failed (exit "
-                  f"{proc.returncode})", file=sys.stderr)
-            return 1
+        for script_name in SUITES[suite]:
+            script = os.path.join(bench_dir, script_name)
+            if not os.path.exists(script):
+                print(f"error: {script} not found", file=sys.stderr)
+                return 1
+            print(f"[bench {suite}] running {script_name} ...")
+            proc = subprocess.run(
+                [sys.executable, "-m", "pytest", script, "-q", "-s"],
+                cwd=repo_root)
+            if proc.returncode != 0:
+                print(f"error: suite {suite!r} failed (exit "
+                      f"{proc.returncode})", file=sys.stderr)
+                return 1
         payload_path = os.path.join(repo_root, f"BENCH_{suite}.json")
         try:
             with open(payload_path) as handle:
@@ -454,6 +461,11 @@ def build_parser() -> argparse.ArgumentParser:
                      help="simulation-kernel backend for the cycle-"
                           "accurate toggle simulator (bit-identical; "
                           "overrides config.sim_backend)")
+    run.add_argument("--train-backend", default=None,
+                     choices=("reference", "fast", "auto"),
+                     help="training-kernel backend for the float "
+                          "training loops (bit-identical; overrides "
+                          "config.train_backend)")
     run.add_argument("--no-resume", action="store_true",
                      help="ignore cached stage results")
     run.add_argument("--full", action="store_true",
@@ -512,6 +524,11 @@ def build_parser() -> argparse.ArgumentParser:
                               "candidates' toggle simulator "
                               "(bit-identical; overrides "
                               "space.sim_backend)")
+    explore.add_argument("--train-backend", default=None,
+                         choices=("reference", "fast", "auto"),
+                         help="training-kernel backend the candidates "
+                              "retrain with (bit-identical; overrides "
+                              "space.train_backend)")
     explore.add_argument("--no-resume", action="store_true",
                          help="ignore the journal and stage cache")
     explore.add_argument("--register", action="store_true",

@@ -71,6 +71,10 @@ class SearchSpace:
     #: (bit-identical across backends — "auto" runs sweeps on the
     #: vectorised counting path)
     sim_backend: str = "auto"
+    #: training-kernel backend every candidate retrains with
+    #: (bit-identical across backends — "auto" runs sweeps on the
+    #: planned training path)
+    train_backend: str = "auto"
     #: test samples each candidate traces through the cycle-accurate
     #: simulator (0 = analytic energy only; see PipelineConfig)
     sim_samples: int = 0
@@ -143,6 +147,7 @@ class SearchSpace:
             budget=budget, seed=seed, quality=quality,
             constraint_mode=constraint_mode, cache_dir=cache_dir,
             backend=self.backend, sim_backend=self.sim_backend,
+            train_backend=self.train_backend,
             sim_samples=self.sim_samples)
 
     def grid(self, cache_dir: str | None = None) -> tuple[PipelineConfig, ...]:
@@ -221,6 +226,7 @@ class SearchSpace:
             "objectives": list(self.objectives),
             "backend": self.backend,
             "sim_backend": self.sim_backend,
+            "train_backend": self.train_backend,
             "sim_samples": self.sim_samples,
         }
 

@@ -32,6 +32,11 @@ from repro.kernels import reference
 from repro.kernels.projection import project_fast
 from repro.kernels.registry import KernelBackend, register_backend
 from repro.kernels.simulate import simulate_layer_fast
+from repro.kernels.training import (
+    sgd_update_fast,
+    train_backward_fast,
+    train_forward_fast,
+)
 
 __all__ = ["blas_exact", "quantize_codes_f64", "requantize_codes",
            "FastBackend"]
@@ -196,6 +201,15 @@ class FastBackend(KernelBackend):
 
     def project_weights(self, weights, bits, constrainer, cache):
         return project_fast(weights, bits, constrainer, cache)
+
+    def train_forward(self, network, x, training=True):
+        return train_forward_fast(network, x, training)
+
+    def train_backward(self, network, grad):
+        return train_backward_fast(network, grad)
+
+    def sgd_update(self, network, velocity, rate, momentum):
+        sgd_update_fast(network, velocity, rate, momentum)
 
 
 FAST = FastBackend()

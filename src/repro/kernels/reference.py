@@ -21,6 +21,11 @@ import numpy as np
 from repro.kernels.projection import project_reference
 from repro.kernels.registry import KernelBackend, register_backend
 from repro.kernels.simulate import simulate_layer_reference
+from repro.kernels.training import (
+    sgd_update_reference,
+    train_backward_reference,
+    train_forward_reference,
+)
 
 __all__ = ["apply_activation", "requantize", "dense_forward",
            "conv_forward", "pool_forward", "ReferenceBackend"]
@@ -125,6 +130,15 @@ class ReferenceBackend(KernelBackend):
 
     def project_weights(self, weights, bits, constrainer, cache):
         return project_reference(weights, bits, constrainer, cache)
+
+    def train_forward(self, network, x, training=True):
+        return train_forward_reference(network, x, training)
+
+    def train_backward(self, network, grad):
+        return train_backward_reference(network, grad)
+
+    def sgd_update(self, network, velocity, rate, momentum):
+        sgd_update_reference(network, velocity, rate, momentum)
 
 
 REFERENCE = ReferenceBackend()

@@ -104,6 +104,33 @@ class KernelBackend:
         """
         raise NotImplementedError
 
+    # -- training kernel family ----------------------------------------
+    def train_forward(self, network, x, training=True):
+        """One float forward pass over a :class:`~repro.nn.network.
+        Sequential` (training caches enabled when *training*).
+
+        Dispatched by ``Sequential.forward`` per the network's train
+        backend; all backends return bit-identical outputs and leave
+        bit-identical backward state (see
+        :mod:`repro.kernels.training`).
+        """
+        raise NotImplementedError
+
+    def train_backward(self, network, grad):
+        """Backpropagate *grad* through the last ``train_forward`` pass,
+        filling every layer's ``grads`` and returning the input
+        gradient."""
+        raise NotImplementedError
+
+    def sgd_update(self, network, velocity, rate, momentum):
+        """Apply one momentum-SGD update from each layer's ``grads``.
+
+        *velocity* is the optimiser's ``(layer index, key) -> array``
+        state dict; backends may update the arrays in place but must
+        produce bit-identical parameters and velocities.
+        """
+        raise NotImplementedError
+
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"<KernelBackend {self.name}>"
 

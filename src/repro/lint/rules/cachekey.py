@@ -108,8 +108,8 @@ class CacheKeyRule(Rule):
         # memory knob, cache_dir is location, and the stage list enters
         # each key structurally (stage name + executed plan)
         "stage_key_exclusions": [
-            "backend", "sim_backend", "eval_batch_size", "cache_dir",
-            "stages",
+            "backend", "sim_backend", "train_backend", "eval_batch_size",
+            "cache_dir", "stages",
         ],
         # accessor methods _stage_deps uses instead of raw fields
         "aliases": {

@@ -11,6 +11,7 @@ import numpy as np
 
 from repro.hardware.engine import LayerWork, NetworkTopology
 from repro.kernels.evaluate import DEFAULT_EVAL_BATCH, batched_accuracy
+from repro.kernels.registry import KernelBackend, get_backend
 from repro.nn.layers import Conv2D, Dense, Flatten, Layer, ScaledAvgPool2D
 
 __all__ = ["Sequential"]
@@ -31,19 +32,40 @@ class Sequential:
         self.layers = list(layers)
         self.name = name
         self.input_spatial = input_spatial
+        # the training-kernel backend (repro.kernels); "reference" is
+        # the historical per-layer loop, so direct users see byte-for-
+        # byte the old behaviour until they (or PipelineConfig's
+        # train_backend knob) opt into the planned fast path — which is
+        # bit-identical anyway.
+        self._train_kernel: KernelBackend = get_backend("reference")
 
     # ------------------------------------------------------------------
     # inference / training passes
     # ------------------------------------------------------------------
+    @property
+    def train_kernel(self) -> KernelBackend:
+        """The resolved training-kernel backend instance."""
+        return self._train_kernel
+
+    @property
+    def train_backend(self) -> str:
+        """Registry name of the active training-kernel backend."""
+        return self._train_kernel.name
+
+    def set_train_backend(self, name: str | KernelBackend) -> None:
+        """Select the training kernels ("reference" | "fast" | "auto").
+
+        All backends are bit-identical (``tests/test_train_backends.py``);
+        the choice is a speed knob and stays out of every stage cache
+        key, exactly like the inference/simulation backends.
+        """
+        self._train_kernel = get_backend(name)
+
     def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
-        for layer in self.layers:
-            x = layer.forward(x, training=training)
-        return x
+        return self._train_kernel.train_forward(self, x, training)
 
     def backward(self, grad: np.ndarray) -> np.ndarray:
-        for layer in reversed(self.layers):
-            grad = layer.backward(grad)
-        return grad
+        return self._train_kernel.train_backward(self, grad)
 
     def predict(self, x: np.ndarray) -> np.ndarray:
         """Class index per sample (argmax over the output layer)."""

@@ -64,19 +64,16 @@ class SGD:
         self.epoch = epoch
 
     def step(self) -> None:
-        """Apply one update from the gradients of the last backward pass."""
-        rate = self.learning_rate
-        for index, layer in enumerate(self.network.layers):
-            if not layer.is_trainable:
-                continue
-            for key, grad in layer.grads.items():
-                slot = (index, key)
-                velocity = self._velocity.get(slot)
-                if velocity is None:
-                    velocity = np.zeros_like(grad)
-                velocity = self.momentum * velocity - rate * grad
-                self._velocity[slot] = velocity
-                layer.params[key] = layer.params[key] + velocity
+        """Apply one update from the gradients of the last backward pass.
+
+        Dispatches to the network's training-kernel backend
+        (:mod:`repro.kernels.training`): the reference kernel is the
+        classic per-slot loop, the fast kernel the in-place equivalent —
+        bit-identical parameters and velocities either way.
+        """
+        self.network.train_kernel.sgd_update(
+            self.network, self._velocity, self.learning_rate,
+            self.momentum)
 
     def reset(self) -> None:
         """Clear momentum state (used when restarting from a restore point)."""

@@ -12,6 +12,7 @@ retraining plugs its weight projection in there (projected SGD).
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Callable
 
@@ -71,6 +72,22 @@ class Trainer:
     # ------------------------------------------------------------------
     def train_epoch(self, x: np.ndarray, y_onehot: np.ndarray) -> float:
         """One shuffled pass over the data; returns the mean batch loss."""
+        if not obs.enabled():
+            return self._train_epoch(x, y_onehot)[0]
+        registry = obs.registry()
+        started = time.perf_counter()
+        mean_loss, batches = self._train_epoch(
+            x, y_onehot,
+            batch_counter=registry.counter("train.batches"),
+            sample_counter=registry.counter("train.samples"))
+        # one dispatch record per epoch: per-batch timing would dwarf
+        # the work being measured
+        obs.record_kernel(self.network.train_backend, "train_step",
+                          time.perf_counter() - started, calls=batches)
+        return mean_loss
+
+    def _train_epoch(self, x, y_onehot, batch_counter=None,
+                     sample_counter=None):
         order = self.rng.permutation(len(x))
         total = 0.0
         batches = 0
@@ -84,7 +101,10 @@ class Trainer:
                 self.post_step()
             total += loss_value
             batches += 1
-        return total / max(1, batches)
+            if batch_counter is not None:
+                batch_counter.inc()
+                sample_counter.inc(len(index))
+        return total / max(1, batches), batches
 
     def fit(self, x: np.ndarray, y_onehot: np.ndarray,
             x_val: np.ndarray, y_val_labels: np.ndarray,
@@ -96,6 +116,9 @@ class Trainer:
         """
         if len(x) != len(y_onehot):
             raise ValueError("training inputs and targets differ in length")
+        if len(x_val) != len(y_val_labels):
+            raise ValueError(
+                "validation inputs and labels differ in length")
         history = TrainHistory()
         best_accuracy = -1.0
         best_state = None

@@ -43,14 +43,19 @@ HISTORY_FORMAT = "repro-bench-history/1"
 #: Default ledger location (repo root, next to the BENCH_*.json files).
 DEFAULT_HISTORY = "BENCH_HISTORY.jsonl"
 
-#: Bench suites the ledger tracks: name -> bench module filename.  The
-#: suite's ``emit_json`` writes ``BENCH_<name>.json`` next to the
-#: benchmarks directory; ``repro bench`` picks that up.
-SUITES: dict[str, str] = {
-    "kernels": "bench_kernels_backends.py",
-    "simulator": "bench_simulator_backends.py",
-    "training": "bench_training_projection.py",
-    "obs": "bench_obs_overhead.py",
+#: Bench suites the ledger tracks: name -> bench module filenames, run
+#: in order.  Each script's ``emit_json`` writes (or merges into)
+#: ``BENCH_<name>.json`` next to the benchmarks directory; ``repro
+#: bench`` ledgers the combined payload after the last script.  The
+#: training suite is two scripts: the per-step projection kernel bench
+#: plus the whole-epoch training-kernel bench (PR 9), both landing in
+#: ``BENCH_training.json``.
+SUITES: dict[str, tuple[str, ...]] = {
+    "kernels": ("bench_kernels_backends.py",),
+    "simulator": ("bench_simulator_backends.py",),
+    "training": ("bench_training_projection.py",
+                 "bench_training_epoch.py"),
+    "obs": ("bench_obs_overhead.py",),
 }
 
 
@@ -200,6 +205,7 @@ DEFAULT_GATES: tuple[Gate, ...] = (
     Gate("kernels", "dense_mlp_8b_asm2.speedup", floor=3.0),
     Gate("simulator", "dense_400x120_8b_asm2.speedup", floor=20.0),
     Gate("training", "mlp_1024x100x10_8b_asm2.speedup", floor=3.0),
+    Gate("training", "train_epoch_mlp_8b.speedup", floor=2.0),
     Gate("obs", "overhead_pct", ceiling=1.0),
 )
 

@@ -180,6 +180,11 @@ class PipelineConfig:
     #: (same registry and the same bit-identity guarantee as ``backend``,
     #: so it too is excluded from the stage cache keys)
     sim_backend: str = "auto"
+    #: training-kernel backend for every float training loop (train /
+    #: constrain stages and explore candidates).  Same registry and the
+    #: same bit-identity guarantee as ``backend``/``sim_backend``, so it
+    #: too is excluded from the stage cache keys.
+    train_backend: str = "auto"
     #: test samples the energy stage traces through the cycle-accurate
     #: simulator for data-dependent toggle energy (0 = analytic model
     #: only).  Unlike the backends this **changes the energy result**,
@@ -253,6 +258,10 @@ class PipelineConfig:
             raise PipelineConfigError(
                 f"unknown sim_backend {self.sim_backend!r}; choose from "
                 f"{BACKEND_NAMES}")
+        if self.train_backend not in BACKEND_NAMES:
+            raise PipelineConfigError(
+                f"unknown train_backend {self.train_backend!r}; choose "
+                f"from {BACKEND_NAMES}")
         if self.eval_batch_size < 1:
             raise PipelineConfigError(
                 f"eval_batch_size must be >= 1, got {self.eval_batch_size}")
@@ -341,6 +350,7 @@ class PipelineConfig:
             "backend": self.backend,
             "eval_batch_size": self.eval_batch_size,
             "sim_backend": self.sim_backend,
+            "train_backend": self.train_backend,
             "sim_samples": self.sim_samples,
         }
         return data

@@ -208,6 +208,9 @@ class PipelineContext:
         if self._model is None:
             self._model = build_model(self.config.app,
                                       seed=self.config.seed + 1)
+            # training-kernel backend: bit-identical speed knob, so it
+            # stays out of every stage cache key (like backend/sim_backend)
+            self._model.set_train_backend(self.config.train_backend)
         return self._model
 
     def arrays(self) -> tuple[np.ndarray, np.ndarray]:

@@ -2,7 +2,9 @@
 
 ``frobnicate_zz9`` is implemented by the reference backend only and is
 referenced by no test (the fixtures directory is excluded from the test
-identifier scan), so the rule reports both gaps.
+identifier scan), so the rule reports both gaps.  ``sgd_update_zz9``
+mirrors the training-kernel family shape — an update kernel added to
+the interface but wired into just one backend.
 """
 
 
@@ -16,6 +18,10 @@ class KernelBackend:
         """A kernel family nobody finished wiring up."""
         raise NotImplementedError
 
+    def sgd_update_zz9(self, network, velocity, rate, momentum):
+        """A training update kernel missing its fast half."""
+        raise NotImplementedError
+
 
 class ReferenceBackend(KernelBackend):
     name = "reference"
@@ -25,6 +31,9 @@ class ReferenceBackend(KernelBackend):
 
     def frobnicate_zz9(self, layer):
         return layer
+
+    def sgd_update_zz9(self, network, velocity, rate, momentum):
+        return network
 
 
 class FastBackend(KernelBackend):

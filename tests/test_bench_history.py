@@ -184,11 +184,18 @@ class TestGates:
         assert check_gates(entries, (SPEEDUP_GATE,)) == []
 
     def test_default_gates_mirror_ci_floors(self):
-        by_bench = {gate.bench: gate for gate in DEFAULT_GATES}
-        assert by_bench["kernels"].floor == 3.0
-        assert by_bench["simulator"].floor == 20.0
-        assert by_bench["training"].floor == 3.0
-        assert by_bench["obs"].ceiling == 1.0
+        by_metric = {(gate.bench, gate.metric): gate
+                     for gate in DEFAULT_GATES}
+        assert len(by_metric) == len(DEFAULT_GATES)
+        assert by_metric[
+            "kernels", "dense_mlp_8b_asm2.speedup"].floor == 3.0
+        assert by_metric[
+            "simulator", "dense_400x120_8b_asm2.speedup"].floor == 20.0
+        assert by_metric[
+            "training", "mlp_1024x100x10_8b_asm2.speedup"].floor == 3.0
+        assert by_metric[
+            "training", "train_epoch_mlp_8b.speedup"].floor == 2.0
+        assert by_metric["obs", "overhead_pct"].ceiling == 1.0
 
     def test_format_trend_lists_every_gate(self):
         entries = [_entry(case={"speedup": 4.0})]
