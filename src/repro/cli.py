@@ -7,6 +7,7 @@ One console entry point for the whole flow::
     repro run cfg.json --trace out.jsonl           # traced run (repro.obs)
     repro experiment fig7 --full                   # paper tables/figures
     repro explore examples/configs/digits_explore.toml --jobs 4
+    repro faults mnist_mlp --rates 0.001,0.01,0.05 # resiliency curves
     repro serve results/artifacts/mnist_mlp-asm2   # HTTP inference server
     repro stats out.jsonl                          # span tree + metrics
     repro lint src/                                # domain invariant linter
@@ -178,7 +179,9 @@ def _cmd_explore(args: argparse.Namespace) -> int:
                                  cache_dir=args.cache_dir,
                                  jobs=args.jobs,
                                  resume=not args.no_resume,
-                                 verbose=not args.quiet)
+                                 verbose=not args.quiet,
+                                 max_retries=args.max_retries,
+                                 timeout_s=args.timeout or None)
     except (SearchSpaceError, JournalError, StageError, OSError,
             ValueError) as error:
         print(f"error: {error}", file=sys.stderr)
@@ -202,6 +205,43 @@ def _cmd_explore(args: argparse.Namespace) -> int:
         else:
             print("\nno ASM/mixed design on the frontier; "
                   "nothing to register")
+    return 0
+
+
+def _cmd_faults(args: argparse.Namespace) -> int:
+    from repro.faults import ResiliencyReport, format_resiliency_report
+    from repro.pipeline.config import PipelineConfig, PipelineConfigError
+    from repro.pipeline.pipeline import Pipeline
+    from repro.pipeline.stages import StageError
+    from repro.utils.serialization import write_json
+
+    try:
+        rates = tuple(float(r) for r in args.rates.split(","))
+        config = PipelineConfig(
+            app=args.app,
+            designs=tuple(args.designs.split(",")),
+            stages=("train", "quantize", "constrain", "evaluate",
+                    "faults"),
+            budget="full" if args.full else "quick",
+            seed=args.seed,
+            cache_dir=args.cache_dir,
+            fault_rates=rates,
+            fault_kind=args.kind,
+            fault_seed=args.fault_seed,
+        )
+        pipeline_report = Pipeline(config).run(
+            resume=not args.no_resume, verbose=not args.quiet)
+        report = ResiliencyReport.from_pipeline_report(pipeline_report)
+    except (PipelineConfigError, StageError, OSError,
+            ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    if not args.quiet:
+        print()
+    print(format_resiliency_report(report))
+    if args.json:
+        path = write_json(args.json, report.to_dict())
+        print(f"\n[wrote {path}]")
     return 0
 
 
@@ -531,6 +571,15 @@ def build_parser() -> argparse.ArgumentParser:
                               "space.train_backend)")
     explore.add_argument("--no-resume", action="store_true",
                          help="ignore the journal and stage cache")
+    explore.add_argument("--max-retries", type=int, default=2,
+                         metavar="N",
+                         help="bounded retries per failing candidate "
+                              "before it is quarantined into the journal "
+                              "as a typed failure record")
+    explore.add_argument("--timeout", type=float, default=0.0,
+                         metavar="SECONDS",
+                         help="per-candidate evaluation timeout "
+                              "(0 = unbounded)")
     explore.add_argument("--register", action="store_true",
                          help="export frontier winners and register them "
                               "in the serving model registry")
@@ -544,6 +593,40 @@ def build_parser() -> argparse.ArgumentParser:
     explore.add_argument("--quiet", action="store_true",
                          help="suppress per-candidate progress lines")
     explore.set_defaults(func=_cmd_explore)
+
+    faults = sub.add_parser(
+        "faults", help="accuracy-vs-fault-rate resiliency curves "
+                       "(seeded, deterministic fault injection)")
+    faults.add_argument("app", help="benchmark application; "
+                                    "see `repro list`")
+    faults.add_argument("--designs", default="conventional,asm2,asm8",
+                        metavar="D1,D2,...",
+                        help="design tokens to sweep "
+                             "(default: %(default)s)")
+    faults.add_argument("--rates", default="0.001,0.005,0.01,0.05",
+                        metavar="R1,R2,...",
+                        help="fault rates to sweep "
+                             "(default: %(default)s)")
+    faults.add_argument("--kind", default="activation_upset",
+                        choices=("weight_bitflip", "weight_stuck",
+                                 "activation_upset",
+                                 "requantize_saturation"),
+                        help="fault model (default: %(default)s)")
+    faults.add_argument("--fault-seed", type=int, default=0,
+                        help="seed of the deterministic fault-site hash")
+    faults.add_argument("--seed", type=int, default=0,
+                        help="training seed")
+    faults.add_argument("--full", action="store_true",
+                        help="paper-scale training budget")
+    faults.add_argument("--cache-dir", default=None,
+                        help="pipeline stage cache root")
+    faults.add_argument("--no-resume", action="store_true",
+                        help="ignore cached stage results")
+    faults.add_argument("--json", default=None, metavar="PATH",
+                        help="also write the ResiliencyReport to PATH")
+    faults.add_argument("--quiet", action="store_true",
+                        help="suppress per-stage progress lines")
+    faults.set_defaults(func=_cmd_faults)
 
     serve = sub.add_parser(
         "serve", help="serve exported artifacts over HTTP "

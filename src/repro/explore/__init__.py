@@ -36,11 +36,13 @@ or, from a shell: ``repro explore examples/configs/digits_explore.toml
 
 from repro.explore.deploy import register_frontier
 from repro.explore.executor import (
+    CandidateTimeout,
     evaluate_candidate,
     metrics_from_report,
     run_candidates,
 )
 from repro.explore.journal import (
+    FAILED_STATUS,
     ExplorationJournal,
     JournalError,
     list_journals,
@@ -72,6 +74,7 @@ __all__ = [
     "Objective", "OBJECTIVES", "dominates", "pareto_frontier",
     "resolve_objectives",
     "ExplorationJournal", "JournalError", "load_space", "list_journals",
+    "FAILED_STATUS", "CandidateTimeout",
     "evaluate_candidate", "metrics_from_report", "run_candidates",
     "ExplorationReport", "format_exploration_report",
     "grid_candidates", "random_candidates", "sensitivity_order",

@@ -23,18 +23,25 @@ from __future__ import annotations
 
 import json
 import os
+import sys
 
+from repro import obs
 from repro.explore.space import SearchSpace, SearchSpaceError
 from repro.utils.serialization import atomic_write_json
 
 __all__ = ["JournalError", "ExplorationJournal", "load_space",
-           "list_journals", "RECORD_FORMAT"]
+           "list_journals", "RECORD_FORMAT", "FAILED_STATUS"]
 
 _JOURNAL_FORMAT = 1
 
 #: Candidate-record schema version; bump when the metric axes change so
 #: resumes re-evaluate instead of surfacing stale records.
 RECORD_FORMAT = 1
+
+#: ``record["status"]`` of a quarantined candidate: the executor
+#: exhausted its retries and journaled a typed failure record instead
+#: of metrics.  Resumed runs skip these; reports count them separately.
+FAILED_STATUS = "failed"
 
 
 class JournalError(RuntimeError):
@@ -95,14 +102,27 @@ class ExplorationJournal:
 
         A record from an older :data:`RECORD_FORMAT` is a miss — the
         candidate re-evaluates rather than resuming with stale axes.
+        A *corrupt or truncated* record file (crashed writer, torn
+        disk) is also a miss, but a logged one: the candidate silently
+        re-evaluates and the rewrite heals the journal, instead of one
+        bad file killing the whole resume.
         """
+        path = self._record_path(digest)
         try:
-            with open(self._record_path(digest)) as handle:
+            with open(path) as handle:
                 record = json.load(handle)
-        except (OSError, json.JSONDecodeError):
+        except FileNotFoundError:
             return None
-        if (record.get("config_digest") != digest
-                or record.get("format") != RECORD_FORMAT):
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError) as error:
+            print(f"warning: skipping corrupt journal record {path} "
+                  f"({type(error).__name__}: {error}); re-evaluating",
+                  file=sys.stderr)
+            if obs.enabled():
+                obs.registry().counter("explore.corrupt_records").inc()
+            return None
+        if not isinstance(record, dict) \
+                or record.get("config_digest") != digest \
+                or record.get("format") != RECORD_FORMAT:
             return None
         return record
 

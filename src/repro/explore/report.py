@@ -29,6 +29,9 @@ class ExplorationReport:
     frontier: tuple[int, ...]        # indices into records
     journal_hits: int = 0
     evaluated: int = 0
+    #: candidates quarantined as typed failure records (they stay in the
+    #: journal but never enter ``records`` or the frontier)
+    failed: int = 0
     #: stage cache the exploration ran against, so follow-up work
     #: (register_frontier) reuses it.  Deliberately NOT serialised:
     #: records and reports must stay location-independent (the
@@ -61,6 +64,7 @@ class ExplorationReport:
             "candidates": len(self.records),
             "journal_hits": self.journal_hits,
             "evaluated": self.evaluated,
+            "failed": self.failed,
             "frontier": list(self.frontier),
             "records": [dict(record) for record in self.records],
         }
@@ -77,7 +81,8 @@ class ExplorationReport:
                    records=tuple(data["records"]),
                    frontier=tuple(data["frontier"]),
                    journal_hits=data.get("journal_hits", 0),
-                   evaluated=data.get("evaluated", 0))
+                   evaluated=data.get("evaluated", 0),
+                   failed=data.get("failed", 0))
 
 
 # ----------------------------------------------------------------------
@@ -118,6 +123,8 @@ def format_exploration_report(report: ExplorationReport) -> str:
          f"{report.journal_hits} / {report.evaluated}"],
         ["frontier size", str(len(report.frontier))],
     ]
+    if report.failed:
+        header.append(["quarantined", str(report.failed)])
     sections.append(format_table(["Field", "Value"], header,
                                  title=f"Exploration - {space.name}"))
 

@@ -78,12 +78,20 @@ class SearchSpace:
     #: test samples each candidate traces through the cycle-accurate
     #: simulator (0 = analytic energy only; see PipelineConfig)
     sim_samples: int = 0
+    #: fault rates each candidate additionally sweeps (non-empty adds
+    #: the ``faults`` stage to every candidate; see ``repro.faults``)
+    fault_rates: tuple[float, ...] = ()
+    #: fault model of the sweep (see PipelineConfig.fault_kind)
+    fault_kind: str = "activation_upset"
+    #: seed of the deterministic fault-site hash
+    fault_seed: int = 0
 
     # ------------------------------------------------------------------
     def __post_init__(self) -> None:
         for field_name in ("designs", "bits", "budgets", "seeds",
                            "qualities", "constraint_modes",
-                           "sensitivity_counts", "objectives"):
+                           "sensitivity_counts", "objectives",
+                           "fault_rates"):
             value = getattr(self, field_name)
             if isinstance(value, list):
                 object.__setattr__(self, field_name, tuple(value))
@@ -142,13 +150,17 @@ class SearchSpace:
                   seed: int, quality: float, constraint_mode: str,
                   cache_dir: str | None = None) -> PipelineConfig:
         """The :class:`PipelineConfig` of one design point."""
+        stages = EVAL_STAGES + ("faults",) if self.fault_rates \
+            else EVAL_STAGES
         return PipelineConfig(
-            app=self.app, bits=bits, designs=(design,), stages=EVAL_STAGES,
+            app=self.app, bits=bits, designs=(design,), stages=stages,
             budget=budget, seed=seed, quality=quality,
             constraint_mode=constraint_mode, cache_dir=cache_dir,
             backend=self.backend, sim_backend=self.sim_backend,
             train_backend=self.train_backend,
-            sim_samples=self.sim_samples)
+            sim_samples=self.sim_samples,
+            fault_rates=self.fault_rates, fault_kind=self.fault_kind,
+            fault_seed=self.fault_seed)
 
     def grid(self, cache_dir: str | None = None) -> tuple[PipelineConfig, ...]:
         """The full cartesian grid, canonicalised and deduplicated.
@@ -228,6 +240,9 @@ class SearchSpace:
             "sim_backend": self.sim_backend,
             "train_backend": self.train_backend,
             "sim_samples": self.sim_samples,
+            "fault_rates": list(self.fault_rates),
+            "fault_kind": self.fault_kind,
+            "fault_seed": self.fault_seed,
         }
 
     @classmethod

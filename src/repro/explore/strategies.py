@@ -23,8 +23,8 @@ import numpy as np
 
 from repro.analysis.sensitivity import layer_sensitivity
 from repro.asm.alphabet import standard_set
-from repro.explore.executor import run_candidates
-from repro.explore.journal import ExplorationJournal
+from repro.explore.executor import DEFAULT_MAX_RETRIES, run_candidates
+from repro.explore.journal import FAILED_STATUS, ExplorationJournal
 from repro.explore.pareto import pareto_frontier, resolve_objectives
 from repro.explore.report import ExplorationReport
 from repro.explore.space import SearchSpace
@@ -94,7 +94,9 @@ def _plan_token(n_layers: int, degraded: list[int], count: int) -> str:
 
 def _sensitivity_search(space: SearchSpace, cache_dir: str | None,
                         journal: ExplorationJournal | None, jobs: int,
-                        resume: bool, verbose: bool
+                        resume: bool, verbose: bool,
+                        max_retries: int = DEFAULT_MAX_RETRIES,
+                        timeout_s: float | None = None,
                         ) -> tuple[list[dict], dict]:
     """Greedy search; returns (records, stats) like ``run_candidates``."""
     bits, budget = space.bits[0], space.budgets[0]
@@ -103,7 +105,14 @@ def _sensitivity_search(space: SearchSpace, cache_dir: str | None,
     base = space.candidate("conventional", bits, budget, seed, quality,
                            mode, cache_dir)
     records, stats = run_candidates([base], journal=journal, jobs=jobs,
-                                    resume=resume, verbose=verbose)
+                                    resume=resume, verbose=verbose,
+                                    max_retries=max_retries,
+                                    timeout_s=timeout_s)
+    if records[0].get("status") == FAILED_STATUS:
+        raise RuntimeError(
+            "sensitivity search cannot start: the conventional baseline "
+            f"candidate was quarantined ({records[0]['error_type']}: "
+            f"{records[0]['error']})")
     baseline = records[0]["metrics"]["accuracy"]           # Algorithm 2's J
     bound = baseline * quality
     order = sensitivity_order(space, base, resume=resume)
@@ -114,8 +123,9 @@ def _sensitivity_search(space: SearchSpace, cache_dir: str | None,
     def accumulate(configs: list[PipelineConfig]) -> list[dict]:
         new_records, new_stats = run_candidates(
             configs, journal=journal, jobs=jobs, resume=resume,
-            verbose=verbose)
-        for key in ("candidates", "journal_hits", "evaluated", "elapsed_s"):
+            verbose=verbose, max_retries=max_retries, timeout_s=timeout_s)
+        for key in ("candidates", "journal_hits", "evaluated", "failed",
+                    "retries", "elapsed_s"):
             stats[key] += new_stats[key]
         records.extend(new_records)
         return new_records
@@ -132,6 +142,10 @@ def _sensitivity_search(space: SearchSpace, cache_dir: str | None,
             (record,) = accumulate([config])
             if budget_left is not None:
                 budget_left -= 1
+            if record.get("status") == FAILED_STATUS:
+                # an unevaluable plan says nothing about deeper ones;
+                # treat it like a quality miss and move to the next count
+                break
             if record["metrics"]["accuracy"] < bound:
                 # this layer was one too many; deeper plans with the same
                 # count only degrade further, so move to the next count
@@ -142,13 +156,19 @@ def _sensitivity_search(space: SearchSpace, cache_dir: str | None,
 # ----------------------------------------------------------------------
 def run_exploration(space: SearchSpace, journal_dir: str,
                     cache_dir: str | None = None, jobs: int = 1,
-                    resume: bool = True,
-                    verbose: bool = False) -> ExplorationReport:
+                    resume: bool = True, verbose: bool = False,
+                    max_retries: int = DEFAULT_MAX_RETRIES,
+                    timeout_s: float | None = None) -> ExplorationReport:
     """Explore *space*, journaling under *journal_dir*; returns the report.
 
     The pipeline stage cache defaults to ``<journal_dir>/cache`` so
     parallel workers (and later resumes) share every stage they agree
     on.  ``resume=False`` ignores both the journal and the stage cache.
+
+    Quarantined candidates (see :func:`~repro.explore.executor
+    .run_candidates`) stay in the journal as typed failure records but
+    are excluded from the report's record list and frontier; the report
+    counts them in ``failed``.
     """
     journal = ExplorationJournal.open(journal_dir, space)
     if cache_dir is None:
@@ -156,19 +176,28 @@ def run_exploration(space: SearchSpace, journal_dir: str,
     if space.strategy == "grid":
         configs = grid_candidates(space, cache_dir)
         records, stats = run_candidates(configs, journal=journal, jobs=jobs,
-                                        resume=resume, verbose=verbose)
+                                        resume=resume, verbose=verbose,
+                                        max_retries=max_retries,
+                                        timeout_s=timeout_s)
     elif space.strategy == "random":
         configs = random_candidates(space, cache_dir)
         records, stats = run_candidates(configs, journal=journal, jobs=jobs,
-                                        resume=resume, verbose=verbose)
+                                        resume=resume, verbose=verbose,
+                                        max_retries=max_retries,
+                                        timeout_s=timeout_s)
     else:
         records, stats = _sensitivity_search(space, cache_dir, journal,
-                                             jobs, resume, verbose)
+                                             jobs, resume, verbose,
+                                             max_retries=max_retries,
+                                             timeout_s=timeout_s)
+    ok_records = [r for r in records if r.get("status") != FAILED_STATUS]
+    failed = len(records) - len(ok_records)
     objectives = resolve_objectives(space.objectives)
-    frontier = pareto_frontier([r["metrics"] for r in records], objectives)
+    frontier = pareto_frontier([r["metrics"] for r in ok_records],
+                               objectives)
     report = ExplorationReport(
-        space=space, records=tuple(records), frontier=frontier,
+        space=space, records=tuple(ok_records), frontier=frontier,
         journal_hits=stats["journal_hits"], evaluated=stats["evaluated"],
-        cache_dir=cache_dir)
+        failed=failed, cache_dir=cache_dir)
     journal.write_report(report.to_dict())
     return report

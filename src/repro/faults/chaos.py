@@ -1,0 +1,141 @@
+"""Chaos harness: deterministic system-fault injection for tests and CI.
+
+Where :mod:`repro.faults.models` perturbs *values*, this module perturbs
+the *machinery*: explore workers crash, stall, or hit IO errors — on
+purpose, deterministically — so the hardened executor's retry /
+timeout / quarantine paths are exercised by real process pools instead
+of mocks.
+
+A :class:`ChaosConfig` names per-candidate curse probabilities.  Which
+candidate is cursed is a pure hash of ``(seed, candidate digest)`` —
+**no RNG, no clock** — so a chaos-injected sweep is reproducible and a
+test can predict exactly which candidates will be hit.  ``max_attempt``
+bounds the curse to early attempts: with the default of 1 only a
+candidate's first attempt can fail, every retry succeeds, and the
+journal the sweep leaves behind is byte-identical to a fault-free run's
+(the acceptance property pinned by ``tests/test_faults.py``).
+
+Activation is either in-process (:func:`install`, inherited by
+fork-start pool workers) or via the ``REPRO_CHAOS`` environment variable
+holding the config as JSON — the cross-process face the CI
+``faults-smoke`` job uses.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass, fields
+
+from repro.faults.models import mix64
+
+__all__ = ["ENV_VAR", "ChaosConfig", "ChaosCrash", "ChaosIOFault",
+           "install", "uninstall", "active", "maybe_strike"]
+
+#: Environment variable carrying a JSON :class:`ChaosConfig` into
+#: worker processes (and whole CI steps).
+ENV_VAR = "REPRO_CHAOS"
+
+
+class ChaosCrash(RuntimeError):
+    """An injected worker crash."""
+
+
+class ChaosIOFault(OSError):
+    """An injected IO fault."""
+
+
+@dataclass(frozen=True)
+class ChaosConfig:
+    """Per-candidate curse rates; disjoint bands of one uniform draw."""
+
+    crash_rate: float = 0.0
+    slow_rate: float = 0.0
+    slow_s: float = 0.2
+    io_fault_rate: float = 0.0
+    seed: int = 0
+    #: attempts >= this are never cursed (1 = first attempt only, so
+    #: every retry succeeds; use a large value to exhaust retries).
+    max_attempt: int = 1
+
+    def __post_init__(self) -> None:
+        for name in ("crash_rate", "slow_rate", "io_fault_rate"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {value}")
+        if self.crash_rate + self.slow_rate + self.io_fault_rate > 1.0:
+            raise ValueError("curse rates must sum to <= 1")
+
+    def to_dict(self) -> dict:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ChaosConfig":
+        known = {f.name for f in fields(cls)}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ValueError(f"unknown chaos key(s): {', '.join(unknown)}")
+        return cls(**data)
+
+    # ------------------------------------------------------------------
+    def curse(self, digest: str) -> str | None:
+        """The deterministic curse for candidate *digest*
+        (``"crash"`` / ``"slow"`` / ``"io"`` / ``None``)."""
+        draw = mix64((self.seed * 0x9E3779B97F4A7C15
+                      & 0xFFFFFFFFFFFFFFFF)
+                     ^ int(digest[:16], 16)) / 2.0 ** 64
+        if draw < self.crash_rate:
+            return "crash"
+        if draw < self.crash_rate + self.slow_rate:
+            return "slow"
+        if draw < self.crash_rate + self.slow_rate + self.io_fault_rate:
+            return "io"
+        return None
+
+
+_ACTIVE: ChaosConfig | None = None
+
+
+def install(config: ChaosConfig) -> None:
+    """Activate chaos in this process (fork-start workers inherit it)."""
+    global _ACTIVE
+    _ACTIVE = config
+
+
+def uninstall() -> None:
+    global _ACTIVE
+    _ACTIVE = None
+
+
+def active() -> ChaosConfig | None:
+    """The installed config, else one parsed from ``REPRO_CHAOS``."""
+    if _ACTIVE is not None:
+        return _ACTIVE
+    payload = os.environ.get(ENV_VAR)
+    if not payload:
+        return None
+    return ChaosConfig.from_dict(json.loads(payload))
+
+
+def maybe_strike(digest: str, attempt: int) -> None:
+    """Apply the active curse (if any) to *digest*'s *attempt*.
+
+    Called by the explore worker before it evaluates a candidate.  A
+    no-op when chaos is inactive, when the attempt is past
+    ``max_attempt``, or when the candidate drew no curse.
+    """
+    config = active()
+    if config is None or attempt >= config.max_attempt:
+        return
+    curse = config.curse(digest)
+    if curse == "crash":
+        raise ChaosCrash(
+            f"chaos: injected worker crash (candidate {digest[:12]}, "
+            f"attempt {attempt})")
+    if curse == "slow":
+        time.sleep(config.slow_s)
+    elif curse == "io":
+        raise ChaosIOFault(
+            f"chaos: injected io fault (candidate {digest[:12]}, "
+            f"attempt {attempt})")

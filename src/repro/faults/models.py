@@ -1,0 +1,219 @@
+"""Deterministic seeded fault models for the error-resiliency study.
+
+The paper's argument is that neural networks *tolerate* multiplier error;
+this module makes that claim measurable by perturbing the integer engine
+the same way a defective or upset device would:
+
+``weight_bitflip``
+    A random bit of a stored synapse word flips (SEU in the weight
+    SRAM).  Applied to the *effective* weights — for ASM designs these
+    are the remapped alphabet values the CSHM banks actually hold.
+``weight_stuck``
+    A stuck-at fault in the ASM effective-weight / multiplier table: the
+    selected table entry drives 0 regardless of the downloaded weight
+    (the classic stuck-at-zero manufacturing defect).
+``activation_upset``
+    A random bit of an activation word flips on the inter-layer bus.
+``requantize_saturation``
+    The requantize/rounding stage saturates: the selected activation
+    word is driven to the format extreme of its sign.
+
+Every decision is a pure function of ``(seed, layer index, position in
+the sample, stored code)`` via a vectorised splitmix64 hash — **no RNG
+state** — so faulted values are bit-identical across kernel backends,
+evaluation batch sizes and processes.  That is the property that lets
+the ``faults`` pipeline stage cache its curves and lets reference/fast
+backends cross-check each other under fault.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.fixedpoint.binary import signed_range
+
+__all__ = [
+    "FAULT_KINDS", "WEIGHT_FAULT_KINDS", "ACTIVATION_FAULT_KINDS",
+    "FaultModelError", "FaultSpec",
+    "element_hash", "fault_mask", "flip_bit", "saturate_codes",
+    "fault_weight_array", "fault_activation_array",
+]
+
+#: Every fault model, model-level sweep vocabulary.
+FAULT_KINDS = ("weight_bitflip", "weight_stuck", "activation_upset",
+               "requantize_saturation")
+
+#: Kinds applied once to a network's stored weights.
+WEIGHT_FAULT_KINDS = ("weight_bitflip", "weight_stuck")
+
+#: Kinds applied to activation words as they leave each kernel.
+ACTIVATION_FAULT_KINDS = ("activation_upset", "requantize_saturation")
+
+_MASK64 = np.uint64(0xFFFFFFFFFFFFFFFF)
+_GOLDEN = 0x9E3779B97F4A7C15
+_MIX1 = 0xBF58476D1CE4E5B9
+_MIX2 = 0x94D049BB133111EB
+
+
+class FaultModelError(ValueError):
+    """Invalid fault specification."""
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One fault model at one rate, fully seeded.
+
+    ``rate`` is the per-element fault probability (per weight word for
+    the weight kinds, per activation word per layer for the activation
+    kinds).  Identical specs produce identical faulted values — the spec
+    is the *entire* source of nondeterminism.
+    """
+
+    kind: str
+    rate: float
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise FaultModelError(
+                f"unknown fault kind {self.kind!r}; choose from "
+                f"{FAULT_KINDS}")
+        if not 0.0 <= self.rate <= 1.0:
+            raise FaultModelError(
+                f"fault rate must be in [0, 1], got {self.rate}")
+
+    def to_dict(self) -> dict:
+        return {"kind": self.kind, "rate": self.rate, "seed": self.seed}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultSpec":
+        return cls(kind=data["kind"], rate=data["rate"],
+                   seed=data.get("seed", 0))
+
+
+# ----------------------------------------------------------------------
+# the hash core: splitmix64, vectorised
+# ----------------------------------------------------------------------
+def _splitmix64(x: np.ndarray) -> np.ndarray:
+    """Vectorised splitmix64 finaliser over a ``uint64`` array."""
+    with np.errstate(over="ignore"):
+        z = (x + np.uint64(_GOLDEN)) & _MASK64
+        z = (z ^ (z >> np.uint64(30))) * np.uint64(_MIX1)
+        z = (z ^ (z >> np.uint64(27))) * np.uint64(_MIX2)
+        return z ^ (z >> np.uint64(31))
+
+
+def mix64(value: int) -> int:
+    """Scalar splitmix64 finaliser (pure-Python; used by the chaos
+    harness, where importing numpy into curse decisions would be
+    overkill)."""
+    z = (value + _GOLDEN) & 0xFFFFFFFFFFFFFFFF
+    z = ((z ^ (z >> 30)) * _MIX1) & 0xFFFFFFFFFFFFFFFF
+    z = ((z ^ (z >> 27)) * _MIX2) & 0xFFFFFFFFFFFFFFFF
+    return z ^ (z >> 31)
+
+
+def element_hash(seed: int, layer_index: int, positions: np.ndarray,
+                 codes: np.ndarray) -> np.ndarray:
+    """Per-element 64-bit hash of ``(seed, layer, position, code)``.
+
+    *positions* index elements **within one sample** (weights: within the
+    layer), never within the batch — that is what makes activation fault
+    decisions independent of ``eval_batch_size`` (which the pipeline
+    deliberately keeps out of its cache keys).
+    """
+    stream = np.uint64(mix64((seed & 0xFFFFFFFFFFFFFFFF)
+                             ^ ((layer_index + 1) * _GOLDEN
+                                & 0xFFFFFFFFFFFFFFFF)))
+    mixed = _splitmix64(positions.astype(np.uint64) ^ stream)
+    return _splitmix64(mixed ^ codes.astype(np.uint64))
+
+
+def fault_mask(hashes: np.ndarray, rate: float) -> np.ndarray:
+    """Boolean fault-site mask: hash below the rate threshold."""
+    if rate >= 1.0:
+        return np.ones(hashes.shape, dtype=bool)
+    if rate <= 0.0:
+        return np.zeros(hashes.shape, dtype=bool)
+    return hashes < np.uint64(int(rate * 2.0 ** 64))
+
+
+# ----------------------------------------------------------------------
+# fault mechanics on integer code arrays
+# ----------------------------------------------------------------------
+def flip_bit(codes: np.ndarray, bits: np.ndarray,
+             total_bits: int) -> np.ndarray:
+    """Flip bit *bits* of each signed code in *total_bits*-bit two's
+    complement; results stay in the representable range by construction."""
+    offset = np.int64(1 << (total_bits - 1))
+    unsigned = codes.astype(np.int64) + offset
+    return (unsigned ^ (np.int64(1) << bits.astype(np.int64))) - offset
+
+
+def saturate_codes(codes: np.ndarray, total_bits: int) -> np.ndarray:
+    """Drive each code to the format extreme of its sign."""
+    low, high = signed_range(total_bits)
+    return np.where(codes < 0, np.int64(low), np.int64(high))
+
+
+def fault_weight_array(w_int: np.ndarray, total_bits: int, spec: FaultSpec,
+                       layer_index: int) -> tuple[np.ndarray, int]:
+    """Faulted copy of one layer's effective-weight words.
+
+    Returns ``(faulted int64 array, number of faulted words)``.
+    """
+    if spec.kind not in WEIGHT_FAULT_KINDS:
+        raise FaultModelError(
+            f"{spec.kind!r} is not a weight fault kind "
+            f"(choose from {WEIGHT_FAULT_KINDS})")
+    flat = w_int.reshape(-1).astype(np.int64)
+    positions = np.arange(flat.size, dtype=np.uint64)
+    hashes = element_hash(spec.seed, layer_index, positions, flat)
+    mask = fault_mask(hashes, spec.rate)
+    count = int(mask.sum())
+    if not count:
+        return w_int.astype(np.int64, copy=True), 0
+    faulted = flat.copy()
+    if spec.kind == "weight_bitflip":
+        bits = (_splitmix64(hashes ^ np.uint64(_GOLDEN))
+                % np.uint64(total_bits))
+        faulted[mask] = flip_bit(flat[mask], bits[mask], total_bits)
+    else:  # weight_stuck: the CSHM table entry drives 0
+        faulted[mask] = 0
+    return faulted.reshape(w_int.shape), count
+
+
+def fault_activation_array(codes: np.ndarray, total_bits: int,
+                           spec: FaultSpec, layer_index: int,
+                           ) -> tuple[np.ndarray, int]:
+    """Faulted copy of one layer's output activation codes.
+
+    *codes* has a leading batch axis; fault decisions depend only on the
+    position **within** each sample and the code value, so splitting the
+    same samples into different batches faults the same elements.
+    """
+    if spec.kind not in ACTIVATION_FAULT_KINDS:
+        raise FaultModelError(
+            f"{spec.kind!r} is not an activation fault kind "
+            f"(choose from {ACTIVATION_FAULT_KINDS})")
+    per_sample = int(np.prod(codes.shape[1:], dtype=np.int64)) \
+        if codes.ndim > 1 else 1
+    positions = np.arange(per_sample, dtype=np.uint64).reshape(
+        (1,) + codes.shape[1:]) if codes.ndim > 1 \
+        else np.zeros(codes.shape, dtype=np.uint64)
+    hashes = element_hash(spec.seed, layer_index,
+                          np.broadcast_to(positions, codes.shape), codes)
+    mask = fault_mask(hashes, spec.rate)
+    count = int(mask.sum())
+    if not count:
+        return codes, 0
+    faulted = codes.astype(np.int64, copy=True)
+    if spec.kind == "activation_upset":
+        bits = (_splitmix64(hashes ^ np.uint64(_GOLDEN))
+                % np.uint64(total_bits))
+        faulted[mask] = flip_bit(faulted[mask], bits[mask], total_bits)
+    else:  # requantize_saturation
+        faulted[mask] = saturate_codes(faulted[mask], total_bits)
+    return faulted, count

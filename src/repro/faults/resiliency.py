@@ -1,0 +1,175 @@
+"""Accuracy-vs-fault-rate resiliency curves.
+
+The measurable form of the paper's error-resiliency claim: sweep fault
+rate x design, record accuracy, and compare how fast each deployment
+degrades.  A :class:`ResiliencyReport` is the reduced artifact — built
+from a pipeline run whose ``faults`` stage executed (see
+``repro.pipeline.stages.stage_faults``), rendered by the ``repro
+faults`` CLI and checked into ``BENCH_faults.json`` by
+``benchmarks/bench_faults_resiliency.py``.
+
+The headline scalar is ``worst_excess_degradation_pp``: over every ASM
+design and fault rate, the worst accuracy drop *beyond* what the
+conventional deployment suffers at the same rate, in percentage points.
+<= 0 means ASM designs degrade no worse than conventional — the CI gate
+bounds it from above.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hardware.report import format_table
+
+__all__ = ["ResiliencyPoint", "ResiliencyReport",
+           "format_resiliency_report"]
+
+
+@dataclass(frozen=True)
+class ResiliencyPoint:
+    """One (design, fault rate) sample of the curve."""
+
+    design: str
+    rate: float
+    accuracy: float
+    #: clean accuracy minus faulted accuracy (positive = worse).
+    degradation: float
+    #: fault sites hit during the evaluation (0 at rate 0).
+    injected: int
+
+
+@dataclass(frozen=True)
+class ResiliencyReport:
+    """One resiliency sweep, serialisable and self-describing."""
+
+    app: str
+    bits: int
+    kind: str
+    seed: int
+    budget: str
+    rates: tuple[float, ...]
+    designs: tuple[str, ...]
+    clean: dict[str, float]
+    points: tuple[ResiliencyPoint, ...]
+
+    # ------------------------------------------------------------------
+    def curve(self, design: str) -> list[ResiliencyPoint]:
+        """The points of *design*, in rate order."""
+        return sorted((p for p in self.points if p.design == design),
+                      key=lambda p: p.rate)
+
+    def worst_excess_degradation_pp(self) -> float:
+        """Worst ASM degradation beyond conventional, in accuracy points.
+
+        0.0 when no conventional baseline (or no ASM design) is present.
+        """
+        if "conventional" not in self.clean:
+            return 0.0
+        conventional = {p.rate: p.degradation
+                        for p in self.curve("conventional")}
+        worst = 0.0
+        for point in self.points:
+            if point.design == "conventional":
+                continue
+            base = conventional.get(point.rate)
+            if base is None:
+                continue
+            worst = max(worst, (point.degradation - base) * 100.0)
+        return worst
+
+    def min_clean_accuracy(self) -> float:
+        return min(self.clean.values()) if self.clean else 0.0
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_pipeline_report(cls, report) -> "ResiliencyReport":
+        """Reduce a pipeline report whose ``faults`` stage ran."""
+        faults = report.require("faults")
+        evaluate = report.require("evaluate")
+        config = report.config
+        clean = {row.design: row.accuracy for row in evaluate.rows
+                 if row.design in config.designs}
+        points = tuple(ResiliencyPoint(
+            design=row.design, rate=row.rate, accuracy=row.accuracy,
+            degradation=row.degradation, injected=row.injected)
+            for row in faults.rows)
+        return cls(app=config.app, bits=config.word_bits(),
+                   kind=faults.kind, seed=faults.seed,
+                   budget=config.tier().name,
+                   rates=tuple(config.fault_rates),
+                   designs=tuple(config.designs),
+                   clean=clean, points=points)
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "app": self.app, "bits": self.bits, "kind": self.kind,
+            "seed": self.seed, "budget": self.budget,
+            "rates": list(self.rates), "designs": list(self.designs),
+            "clean": dict(self.clean),
+            "points": [{"design": p.design, "rate": p.rate,
+                        "accuracy": p.accuracy,
+                        "degradation": p.degradation,
+                        "injected": p.injected} for p in self.points],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ResiliencyReport":
+        return cls(app=data["app"], bits=data["bits"], kind=data["kind"],
+                   seed=data["seed"], budget=data["budget"],
+                   rates=tuple(data["rates"]),
+                   designs=tuple(data["designs"]),
+                   clean=dict(data["clean"]),
+                   points=tuple(ResiliencyPoint(**p)
+                                for p in data["points"]))
+
+    def bench_results(self) -> dict:
+        """The ``BENCH_faults.json`` results section.
+
+        The gate metrics are deliberately *top-level scalars*
+        (``min_clean_accuracy``, ``worst_excess_degradation_pp``) —
+        per-rate keys would contain dots, which the dotted-path gate
+        resolver cannot address.
+        """
+        curves = {design: {"rates": [p.rate for p in self.curve(design)],
+                           "accuracy": [p.accuracy
+                                        for p in self.curve(design)]}
+                  for design in self.designs}
+        return {
+            "app": self.app, "bits": self.bits, "kind": self.kind,
+            "seed": self.seed, "budget": self.budget,
+            "min_clean_accuracy": self.min_clean_accuracy(),
+            "worst_excess_degradation_pp":
+                self.worst_excess_degradation_pp(),
+            "clean": dict(self.clean),
+            "curves": curves,
+        }
+
+
+# ----------------------------------------------------------------------
+def format_resiliency_report(report: ResiliencyReport) -> str:
+    """Human-readable resiliency table (one row per design x rate)."""
+    rows = []
+    for design in report.designs:
+        clean = report.clean.get(design)
+        rows.append([design, "clean",
+                     "--" if clean is None else f"{clean * 100:.2f}",
+                     "--", "--"])
+        for point in report.curve(design):
+            rows.append([design, f"{point.rate:g}",
+                         f"{point.accuracy * 100:.2f}",
+                         f"{point.degradation * 100:+.2f}",
+                         str(point.injected)])
+    table = format_table(
+        ["Design", "Fault rate", "Accuracy (%)", "Degradation (pp)",
+         "Faults injected"], rows,
+        title=f"Resiliency - {report.app} ({report.bits} bit, "
+              f"{report.kind}, seed {report.seed})")
+    summary = format_table(
+        ["Field", "Value"],
+        [["min clean accuracy (%)",
+          f"{report.min_clean_accuracy() * 100:.2f}"],
+         ["worst excess degradation vs conventional (pp)",
+          f"{report.worst_excess_degradation_pp():+.2f}"]],
+        title="Resiliency summary")
+    return table + "\n\n" + summary

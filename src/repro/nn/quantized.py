@@ -290,6 +290,24 @@ class _QuantFlatten(_QuantLayer):
 #: Default dispatch target when a layer is driven without a network.
 _REFERENCE = get_backend("reference")
 
+#: Kernels-layer fault-injection hook (``repro.faults.inject``): when
+#: set, every dispatched kernel's output codes pass through it, so all
+#: backends see *identical* faulted values.  ``None`` (the default)
+#: costs one extra comparison per kernel call.
+_FAULT_HOOK = None
+
+
+def set_fault_hook(hook) -> None:
+    """Install (or clear, with ``None``) the dispatch fault hook.
+
+    The hook is ``hook(layer, codes, fmt) -> codes``; it sits *after*
+    the backend kernel, which is what keeps reference and fast backends
+    bit-identical under fault.  Owned by
+    :func:`repro.faults.inject.fault_session` — use that, not this.
+    """
+    global _FAULT_HOOK
+    _FAULT_HOOK = hook
+
 
 def _dispatch(backend, kernel: str, layer, x, x_fmt):
     """Run one forward kernel, accounting the call when obs is enabled.
@@ -301,11 +319,16 @@ def _dispatch(backend, kernel: str, layer, x, x_fmt):
     """
     fn = getattr(backend, kernel)
     if not obs.enabled():
-        return fn(layer, x, x_fmt)
+        out = fn(layer, x, x_fmt)
+        if _FAULT_HOOK is not None:
+            out = (_FAULT_HOOK(layer, out[0], out[1]), out[1])
+        return out
     started = time.perf_counter()
     out = fn(layer, x, x_fmt)
     obs.record_kernel(backend.name, kernel,
                       time.perf_counter() - started)
+    if _FAULT_HOOK is not None:
+        out = (_FAULT_HOOK(layer, out[0], out[1]), out[1])
     return out
 
 

@@ -21,7 +21,7 @@ step).  Entry schema (one JSON object per line)::
 
     {"format": "repro-bench-history/1", "bench": "kernels",
      "git_sha": "<full sha or 'unknown'>", "host": "...",
-     "repro_version": "1.8.0", "bench_format": "repro-bench/kernels/1",
+     "repro_version": "1.9.0", "bench_format": "repro-bench/kernels/1",
      "results": {...}}                  # the emit_json results verbatim
 """
 
@@ -56,6 +56,7 @@ SUITES: dict[str, tuple[str, ...]] = {
     "training": ("bench_training_projection.py",
                  "bench_training_epoch.py"),
     "obs": ("bench_obs_overhead.py",),
+    "faults": ("bench_faults_resiliency.py",),
 }
 
 
@@ -207,6 +208,12 @@ DEFAULT_GATES: tuple[Gate, ...] = (
     Gate("training", "mlp_1024x100x10_8b_asm2.speedup", floor=3.0),
     Gate("training", "train_epoch_mlp_8b.speedup", floor=2.0),
     Gate("obs", "overhead_pct", ceiling=1.0),
+    Gate("faults", "min_clean_accuracy", floor=0.70),
+    # ASM designs must degrade no more than ~3pp beyond conventional at
+    # matched fault rates; pp excesses are tiny and noisy at the tiny
+    # budget, so the drift tolerance is wide and the ceiling does the work.
+    Gate("faults", "worst_excess_degradation_pp", ceiling=3.0,
+         tolerance_pct=400.0),
 )
 
 

@@ -56,10 +56,19 @@ HELP_TEXT: dict[str, str] = {
     "explore.workers": "Worker processes of the last explore pool",
     "explore.worker_utilization":
         "Sum of candidate seconds / (workers * wall seconds)",
+    "explore.retries": "Explore candidate attempts retried after a failure",
+    "explore.quarantined":
+        "Explore candidates quarantined as typed failure records",
+    "explore.corrupt_records":
+        "Corrupt or truncated journal records skipped on resume",
+    "faults.injected": "Faults injected per fault-model kind",
     "serving.requests": "HTTP inference requests served",
     "serving.samples": "Samples classified across all requests",
     "serving.batches": "Micro-batcher flushes",
     "serving.errors": "Failed inference requests",
+    "serving.shed_total": "Requests shed at the queue depth bound (503)",
+    "serving.deadline_expired":
+        "Queued requests dropped past their deadline",
     "serving.energy_nj": "Estimated energy spent serving, in nanojoules",
     "serving.queue_depth": "Micro-batcher queue depth",
     "serving.latency_seconds": "End-to-end request latency in seconds",

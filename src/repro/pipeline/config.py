@@ -97,8 +97,8 @@ TRAIN_SETTINGS: dict[str, TrainSettings] = {
 
 
 #: Canonical stage order; ``PipelineConfig.stages`` is any subset.
-STAGE_NAMES = ("train", "quantize", "constrain", "evaluate", "energy",
-               "export", "serve-check")
+STAGE_NAMES = ("train", "quantize", "constrain", "evaluate", "faults",
+               "energy", "export", "serve-check")
 
 #: Alphabet counts with a standard set (see ``repro.asm.alphabet``).
 DESIGN_COUNTS = (1, 2, 4, 8)
@@ -190,10 +190,18 @@ class PipelineConfig:
     #: only).  Unlike the backends this **changes the energy result**,
     #: so it is part of the energy stage's cache key.
     sim_samples: int = 0
+    #: fault rates the ``faults`` stage sweeps (empty = stage refuses to
+    #: run).  Rates, kind and seed all change the resiliency result, so
+    #: all three are part of the faults stage's cache key.
+    fault_rates: tuple[float, ...] = ()
+    #: fault model swept by the ``faults`` stage (``repro.faults``).
+    fault_kind: str = "activation_upset"
+    #: seed of the deterministic fault-site hash.
+    fault_seed: int = 0
 
     # ------------------------------------------------------------------
     def __post_init__(self) -> None:
-        for name in ("designs", "stages", "ladder"):
+        for name in ("designs", "stages", "ladder", "fault_rates"):
             value = getattr(self, name)
             if isinstance(value, list):
                 object.__setattr__(self, name, tuple(value))
@@ -268,6 +276,21 @@ class PipelineConfig:
         if self.sim_samples < 0:
             raise PipelineConfigError(
                 f"sim_samples must be >= 0, got {self.sim_samples}")
+        from repro.faults.models import FAULT_KINDS
+        if self.fault_kind not in FAULT_KINDS:
+            raise PipelineConfigError(
+                f"unknown fault_kind {self.fault_kind!r}; choose from "
+                f"{FAULT_KINDS}")
+        for rate in self.fault_rates:
+            if not 0.0 <= rate <= 1.0:
+                raise PipelineConfigError(
+                    f"fault rates must be in [0, 1], got {rate}")
+        if len(set(self.fault_rates)) != len(self.fault_rates):
+            raise PipelineConfigError(
+                f"duplicate fault rates in {self.fault_rates}")
+        if "faults" in self.stages and not self.fault_rates:
+            raise PipelineConfigError(
+                "the 'faults' stage needs a non-empty fault_rates sweep")
         if self.export_design is not None:
             if self.export_design not in self.designs:
                 raise PipelineConfigError(
@@ -352,6 +375,9 @@ class PipelineConfig:
             "sim_backend": self.sim_backend,
             "train_backend": self.train_backend,
             "sim_samples": self.sim_samples,
+            "fault_rates": list(self.fault_rates),
+            "fault_kind": self.fault_kind,
+            "fault_seed": self.fault_seed,
         }
         return data
 

@@ -88,6 +88,11 @@ class Pipeline:
             if has_asm:
                 needs.append("constrain")
             return tuple(needs)
+        if stage == "faults":
+            # faulted accuracy is measured against the clean evaluation
+            # and perturbs the same deployed networks; evaluate's own
+            # prerequisites pull the trained/constrained weights in
+            return ("evaluate",)
         if stage == "energy":
             if self.config.sim_samples:
                 # toggle simulation traces real activations through the
@@ -166,6 +171,14 @@ class Pipeline:
             # design list must not split the cache
             deps["designs"] = [d for d in cfg.designs
                                if d != "conventional"]
+            return deps
+        if stage == "faults":
+            deps["designs"] = list(cfg.designs)
+            deps["fault_rates"] = list(cfg.fault_rates)
+            deps["fault_kind"] = cfg.fault_kind
+            deps["fault_seed"] = cfg.fault_seed
+            # like evaluate: losses depend on whether quantize ran
+            deps["with_quantize"] = "quantize" in plan
             return deps
         if stage in ("evaluate", "energy"):
             deps["designs"] = list(cfg.designs)

@@ -18,6 +18,7 @@ from repro.pipeline.stages import (
     EnergyResult,
     EvaluateResult,
     ExportResult,
+    FaultsResult,
     QuantizeResult,
     ServeCheckResult,
     TrainResult,
@@ -32,6 +33,7 @@ STAGE_ATTRS = {
     "quantize": "quantize",
     "constrain": "constrain",
     "evaluate": "evaluate",
+    "faults": "faults",
     "energy": "energy",
     "export": "export",
     "serve-check": "serve_check",
@@ -49,6 +51,7 @@ class PipelineReport:
     quantize: QuantizeResult | None = None
     constrain: ConstrainResult | None = None
     evaluate: EvaluateResult | None = None
+    faults: FaultsResult | None = None
     energy: EnergyResult | None = None
     export: ExportResult | None = None
     serve_check: ServeCheckResult | None = None
@@ -139,6 +142,18 @@ def format_report(report: PipelineReport) -> str:
         sections.append(format_table(
             ["Design", "Deployment", "Accuracy (%)", "Loss (%)"], rows,
             title="Stage: evaluate (bit-accurate engine)"))
+    if report.faults is not None:
+        rows = []
+        for row in report.faults.rows:
+            rows.append([row.design, f"{row.rate:g}",
+                         f"{row.accuracy * 100:.2f}",
+                         f"{row.degradation * 100:+.2f}",
+                         str(row.injected)])
+        sections.append(format_table(
+            ["Design", "Fault rate", "Accuracy (%)", "Degradation (pp)",
+             "Injected"], rows,
+            title=f"Stage: faults ({report.faults.kind}, "
+                  f"seed {report.faults.seed})"))
     if report.energy is not None:
         rows = []
         for row in report.energy.rows:

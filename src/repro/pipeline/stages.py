@@ -37,7 +37,8 @@ from repro.training.mixed import paper_mixed_plan
 __all__ = [
     "PipelineContext", "StageError",
     "TrainResult", "QuantizeResult", "DesignOutcome", "ConstrainResult",
-    "EvaluationRow", "EvaluateResult", "EnergyDesignRow", "EnergyResult",
+    "EvaluationRow", "EvaluateResult", "FaultRow", "FaultsResult",
+    "EnergyDesignRow", "EnergyResult",
     "ExportResult", "ServeCheckResult",
     "STAGE_FUNCTIONS", "result_from_payload",
     "save_state", "load_state",
@@ -113,6 +114,31 @@ class EvaluateResult:
             if row.design == design:
                 return row
         raise KeyError(f"no evaluation row for design {design!r}")
+
+
+@dataclass(frozen=True)
+class FaultRow:
+    """Accuracy of one design under one fault rate."""
+
+    design: str
+    rate: float
+    accuracy: float
+    #: clean accuracy minus faulted accuracy (positive = worse).
+    degradation: float
+    #: fault sites hit while evaluating the test set.
+    injected: int
+
+
+@dataclass(frozen=True)
+class FaultsResult:
+    """The ``faults`` stage: a seeded accuracy-vs-fault-rate sweep."""
+
+    kind: str
+    seed: int
+    rows: tuple[FaultRow, ...]
+
+    def rows_for(self, design: str) -> tuple[FaultRow, ...]:
+        return tuple(row for row in self.rows if row.design == design)
 
 
 @dataclass(frozen=True)
@@ -448,6 +474,46 @@ def stage_evaluate(ctx: PipelineContext) -> EvaluateResult:
     return EvaluateResult(rows=tuple(rows))
 
 
+def stage_faults(ctx: PipelineContext) -> FaultsResult:
+    """Seeded fault-rate sweep over the deployed designs.
+
+    Reuses the same memoized :class:`QuantizedNetwork` per design as
+    ``evaluate`` and perturbs it through :mod:`repro.faults` — fault
+    decisions hash ``(seed, layer, position, code)``, so the sweep is
+    bit-identical across kernel backends and batch sizes (which is why
+    neither enters this stage's cache key).
+    """
+    from repro.faults.inject import faulted_accuracy
+    from repro.faults.models import FaultSpec
+
+    rates = ctx.config.fault_rates
+    if not rates:
+        raise StageError(
+            "the 'faults' stage needs fault_rates in the config")
+    _, x_test = ctx.arrays()
+    y_test = ctx.dataset.y_test
+    evaluate: EvaluateResult = ctx.results.get("evaluate")
+    if evaluate is None:
+        raise StageError("the 'faults' stage needs 'evaluate' to have run")
+    rows: list[FaultRow] = []
+    for design in ctx.config.designs:
+        clean = evaluate.row_for(design).accuracy
+        quantized = (ctx.conventional_quantized()
+                     if parse_design(design) is None
+                     else ctx.design_quantized(design))
+        for rate in rates:
+            spec = FaultSpec(kind=ctx.config.fault_kind, rate=rate,
+                             seed=ctx.config.fault_seed)
+            accuracy, injected = faulted_accuracy(
+                quantized, spec, x_test, y_test,
+                batch_size=ctx.config.eval_batch_size)
+            rows.append(FaultRow(
+                design=design, rate=rate, accuracy=accuracy,
+                degradation=clean - accuracy, injected=injected))
+    return FaultsResult(kind=ctx.config.fault_kind,
+                        seed=ctx.config.fault_seed, rows=tuple(rows))
+
+
 def stage_energy(ctx: PipelineContext) -> EnergyResult:
     """CSHM-engine per-inference energy per design.
 
@@ -563,6 +629,7 @@ STAGE_FUNCTIONS = {
     "quantize": stage_quantize,
     "constrain": stage_constrain,
     "evaluate": stage_evaluate,
+    "faults": stage_faults,
     "energy": stage_energy,
     "export": stage_export,
     "serve-check": stage_serve_check,
@@ -588,6 +655,10 @@ def result_from_payload(stage: str, payload: dict):
     if stage == "evaluate":
         return EvaluateResult(rows=tuple(
             EvaluationRow(**row) for row in payload["rows"]))
+    if stage == "faults":
+        return FaultsResult(kind=payload["kind"], seed=payload["seed"],
+                            rows=tuple(FaultRow(**row)
+                                       for row in payload["rows"]))
     if stage == "energy":
         return EnergyResult(rows=tuple(
             EnergyDesignRow(**row) for row in payload["rows"]))

@@ -31,7 +31,12 @@ from repro.serving.artifact import (
     read_manifest,
     save_artifact,
 )
-from repro.serving.batching import BatchSettings, MicroBatcher
+from repro.serving.batching import (
+    BatchSettings,
+    DeadlineExceededError,
+    MicroBatcher,
+    QueueFullError,
+)
 from repro.serving.compiled import CompiledModel
 from repro.serving.metrics import ServingMetrics
 from repro.serving.registry import ModelEntry, ModelRegistry, default_registry
@@ -41,6 +46,7 @@ __all__ = [
     "ArtifactError", "ArtifactIntegrityError",
     "load_artifact", "read_manifest", "save_artifact",
     "BatchSettings", "MicroBatcher",
+    "QueueFullError", "DeadlineExceededError",
     "CompiledModel",
     "ServingMetrics",
     "ModelEntry", "ModelRegistry", "default_registry",

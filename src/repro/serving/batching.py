@@ -12,6 +12,15 @@ Each :meth:`MicroBatcher.submit` returns a
 request — batching is invisible to callers, and because the batched forward
 is row-wise exact integer arithmetic, results are bit-identical to an
 unbatched pass.
+
+Overload hardening (see ``docs/robustness.md``): ``max_queue_depth``
+bounds the queue and :meth:`submit` sheds with :class:`QueueFullError`
+once it is full (the server maps this to ``503`` + ``Retry-After``);
+``deadline_s`` bounds a request's total queue + compute time — a request
+that waited past its deadline resolves to
+:class:`DeadlineExceededError` instead of burning a forward pass on an
+answer nobody is waiting for.  An exception escaping a batch resolves
+that batch's futures and never kills the worker thread.
 """
 
 from __future__ import annotations
@@ -28,7 +37,16 @@ import numpy as np
 from repro import obs
 from repro.serving.metrics import ServingMetrics
 
-__all__ = ["BatchSettings", "MicroBatcher"]
+__all__ = ["BatchSettings", "MicroBatcher", "QueueFullError",
+           "DeadlineExceededError"]
+
+
+class QueueFullError(RuntimeError):
+    """Request shed: the batching queue is at ``max_queue_depth``."""
+
+
+class DeadlineExceededError(RuntimeError):
+    """Request dropped: it waited in the queue past ``deadline_s``."""
 
 
 @dataclass(frozen=True)
@@ -37,12 +55,22 @@ class BatchSettings:
 
     max_batch_size: int = 64
     max_latency_ms: float = 5.0
+    #: admission bound: submits shed with :class:`QueueFullError` while
+    #: this many requests are already queued (0 = unbounded)
+    max_queue_depth: int = 0
+    #: per-request deadline in seconds; a request still queued past it
+    #: resolves to :class:`DeadlineExceededError` (None = no deadline)
+    deadline_s: float | None = None
 
     def __post_init__(self) -> None:
         if self.max_batch_size < 1:
             raise ValueError("max_batch_size must be >= 1")
         if self.max_latency_ms < 0:
             raise ValueError("max_latency_ms must be >= 0")
+        if self.max_queue_depth < 0:
+            raise ValueError("max_queue_depth must be >= 0")
+        if self.deadline_s is not None and self.deadline_s <= 0:
+            raise ValueError("deadline_s must be positive (or None)")
 
 
 class _Request:
@@ -106,6 +134,12 @@ class MicroBatcher:
         with self._lock:
             if self._closed:
                 raise RuntimeError("MicroBatcher is closed")
+            if self.overloaded():
+                if self.metrics is not None:
+                    self.metrics.record_shed()
+                raise QueueFullError(
+                    f"queue is at its depth bound "
+                    f"({self.settings.max_queue_depth}); retry later")
             self._queue.put(request)
         if self.metrics is not None:
             self.metrics.set_queue_depth(self._queue.qsize())
@@ -123,6 +157,13 @@ class MicroBatcher:
         snapshots report the live depth rather than the depth at the
         last submit."""
         return self._queue.qsize()
+
+    def overloaded(self) -> bool:
+        """Whether the next :meth:`submit` would shed (``/healthz``'s
+        readiness signal).  Always ``False`` when the queue is unbounded.
+        """
+        return (self.settings.max_queue_depth > 0
+                and self._queue.qsize() >= self.settings.max_queue_depth)
 
     def close(self, timeout: float | None = 5.0) -> None:
         """Drain outstanding requests and stop the worker."""
@@ -179,8 +220,29 @@ class MicroBatcher:
         except InvalidStateError:
             pass
 
+    def _expire(self, batch: list[_Request]) -> list[_Request]:
+        """Drop requests whose deadline passed while they queued."""
+        deadline_s = self.settings.deadline_s
+        if deadline_s is None:
+            return batch
+        now = time.monotonic()
+        live = []
+        for request in batch:
+            waited = now - request.enqueued
+            if waited > deadline_s:
+                if self.metrics is not None:
+                    self.metrics.record_deadline_expired()
+                self._resolve_future(request.future, error=(
+                    DeadlineExceededError(
+                        f"request queued {waited * 1e3:.0f}ms, past its "
+                        f"{deadline_s * 1e3:.0f}ms deadline")))
+            else:
+                live.append(request)
+        return live
+
     def _flush(self, batch: list[_Request]) -> None:
         """Run one forward pass per model key and resolve futures."""
+        batch = self._expire(batch)
         # group on (key, sample shape) so one malformed request cannot
         # break np.concatenate — and thereby the batch — for its co-riders
         groups: dict[object, list[_Request]] = {}
@@ -205,6 +267,22 @@ class MicroBatcher:
                 offset += len(request.x)
                 self._resolve_future(request.future, result=rows)
 
+    def _flush_isolated(self, batch: list[_Request]) -> None:
+        """Flush, absorbing anything the flush machinery itself raises.
+
+        ``_flush`` already fences model errors per group; this is the
+        last line of defence for bugs *around* the forward pass (metrics,
+        grouping, a hostile ``resolve``).  The worker thread must survive
+        — a dead worker hangs every later request forever — so the batch
+        fails, its futures resolve, and the loop continues.
+        """
+        try:
+            self._flush(batch)
+        except Exception as error:  # noqa: BLE001 - isolate the worker
+            for request in batch:
+                if not request.future.done():
+                    self._resolve_future(request.future, error=error)
+
     def _run(self) -> None:
         while True:
             item = self._queue.get()
@@ -213,7 +291,7 @@ class MicroBatcher:
             batch, stop = self._collect(item)
             if self.metrics is not None:
                 self.metrics.set_queue_depth(self._queue.qsize())
-            self._flush(batch)
+            self._flush_isolated(batch)
             if stop:
                 break
         # drain anything enqueued before close() won the lock
@@ -226,4 +304,4 @@ class MicroBatcher:
             if item is not None:
                 leftovers.append(item)
         if leftovers:
-            self._flush(leftovers)
+            self._flush_isolated(leftovers)

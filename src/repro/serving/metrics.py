@@ -51,6 +51,8 @@ class ServingMetrics:
         self._samples = reg.counter("serving.samples")
         self._batches = reg.counter("serving.batches")
         self._errors = reg.counter("serving.errors")
+        self._shed = reg.counter("serving.shed_total")
+        self._deadline_expired = reg.counter("serving.deadline_expired")
         self._energy_nj = reg.counter("serving.energy_nj")
         self._queue_depth = reg.gauge("serving.queue_depth")
         self._latency = reg.histogram("serving.latency_seconds",
@@ -83,6 +85,14 @@ class ServingMetrics:
     def record_error(self) -> None:
         self._errors.inc()
 
+    def record_shed(self) -> None:
+        """One request shed by admission control (queue at its bound)."""
+        self._shed.inc()
+
+    def record_deadline_expired(self) -> None:
+        """One queued request dropped because its deadline passed."""
+        self._deadline_expired.inc()
+
     def set_queue_depth(self, depth: int) -> None:
         self._queue_depth.set(depth)
 
@@ -113,6 +123,8 @@ class ServingMetrics:
             "samples_total": int(samples),
             "batches_total": int(self._batches.value),
             "errors_total": int(self._errors.value),
+            "shed_total": int(self._shed.value),
+            "deadline_expired_total": int(self._deadline_expired.value),
             "queue_depth": int(self._queue_depth.value),
             "throughput_samples_per_s": (
                 round(samples / uptime, 3) if uptime > 0 else 0.0),

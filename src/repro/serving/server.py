@@ -3,6 +3,9 @@
 Endpoints (all JSON):
 
 * ``GET  /health``  — liveness + registered model list,
+* ``GET  /healthz`` — readiness probe: ``200 ready`` normally, ``503
+  overloaded`` while the batching queue is at its depth bound (load
+  balancers should stop routing here until it drains),
 * ``GET  /models``  — registry detail (name, version, spec label, energy),
 * ``GET  /stats``   — :class:`~repro.serving.metrics.ServingMetrics`
   snapshot (throughput, latency p50/p95/p99, live queue depth, error
@@ -31,7 +34,12 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 import numpy as np
 
 from repro import obs
-from repro.serving.batching import BatchSettings, MicroBatcher
+from repro.serving.batching import (
+    BatchSettings,
+    DeadlineExceededError,
+    MicroBatcher,
+    QueueFullError,
+)
 from repro.serving.metrics import ServingMetrics
 from repro.serving.registry import ModelRegistry, default_registry
 
@@ -79,9 +87,17 @@ class _Handler(BaseHTTPRequestHandler):
         self.end_headers()
         self.wfile.write(body)
 
-    def _send_error_json(self, status: int, message: str) -> None:
+    def _send_error_json(self, status: int, message: str,
+                         retry_after_s: int | None = None) -> None:
         self.server.metrics.record_error()
-        self._send_json({"error": message}, status=status)
+        body = json.dumps({"error": message}).encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        if retry_after_s is not None:
+            self.send_header("Retry-After", str(retry_after_s))
+        self.end_headers()
+        self.wfile.write(body)
 
     # ------------------------------------------------------------------
     def do_GET(self) -> None:  # noqa: N802 - stdlib API
@@ -91,6 +107,16 @@ class _Handler(BaseHTTPRequestHandler):
                 "status": "ok",
                 "models": [entry.key for entry in entries],
             })
+        elif self.path == "/healthz":
+            # readiness, not liveness: flips 503 while the batcher sheds
+            # so load balancers stop routing until the queue drains
+            if self.server.batcher.overloaded():
+                self._send_json(
+                    {"status": "overloaded",
+                     "queue_depth": self.server.batcher.queue_depth()},
+                    status=503)
+            else:
+                self._send_json({"status": "ready"})
         elif self.path == "/stats":
             # refresh the gauge so the snapshot reports the *live* depth,
             # not the depth at the last enqueue/dequeue
@@ -136,6 +162,14 @@ class _Handler(BaseHTTPRequestHandler):
         except (ValueError, json.JSONDecodeError):
             self._send_error_json(400, "body is not valid JSON")
             return
+        if not isinstance(request, dict):
+            # valid JSON but not an object (e.g. a bare list) used to
+            # escape as an unhandled 500; malformed input is the
+            # client's fault and must say so
+            self._send_error_json(
+                400, f"body must be a JSON object, "
+                     f"got {type(request).__name__}")
+            return
         name = request.get("model")
         if not name:
             self._send_error_json(400, "missing 'model'")
@@ -163,6 +197,14 @@ class _Handler(BaseHTTPRequestHandler):
         except KeyError as error:
             self._send_error_json(
                 404, str(error.args[0]) if error.args else str(error))
+            return
+        except QueueFullError as error:
+            # admission control: shed with Retry-After so well-behaved
+            # clients back off instead of hammering an overloaded queue
+            self._send_error_json(503, str(error), retry_after_s=1)
+            return
+        except DeadlineExceededError as error:
+            self._send_error_json(503, str(error), retry_after_s=1)
             return
         except ValueError as error:
             # shape/rank mismatches between the inputs and the model
@@ -220,6 +262,12 @@ def main(argv: list[str] | None = None) -> int:
                         help="samples per coalesced forward pass")
     parser.add_argument("--max-latency-ms", type=float, default=5.0,
                         help="longest a request waits for co-riders")
+    parser.add_argument("--max-queue-depth", type=int, default=0,
+                        help="shed requests (503) past this queue depth "
+                             "(0 = unbounded)")
+    parser.add_argument("--deadline-ms", type=float, default=0.0,
+                        help="drop requests queued longer than this "
+                             "(0 = no deadline)")
     args = parser.parse_args(argv)
 
     from repro.serving.artifact import ArtifactError
@@ -240,11 +288,15 @@ def main(argv: list[str] | None = None) -> int:
 
     server = create_server(
         registry, host=args.host, port=args.port,
-        settings=BatchSettings(max_batch_size=args.max_batch_size,
-                               max_latency_ms=args.max_latency_ms))
+        settings=BatchSettings(
+            max_batch_size=args.max_batch_size,
+            max_latency_ms=args.max_latency_ms,
+            max_queue_depth=args.max_queue_depth,
+            deadline_s=(args.deadline_ms / 1e3
+                        if args.deadline_ms > 0 else None)))
     host, port = server.server_address[:2]
     print(f"serving {len(registry)} model(s) on http://{host}:{port} "
-          f"(POST /predict, GET /health /models /stats /metrics)")
+          f"(POST /predict, GET /health /healthz /models /stats /metrics)")
     serve_forever(server)
     return 0
 

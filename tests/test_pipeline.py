@@ -459,7 +459,7 @@ class TestCLI:
 
     def test_package_exports(self):
         import repro
-        assert repro.__version__ == "1.8.0"
+        assert repro.__version__ == "1.9.0"
         assert repro.PipelineConfig is PipelineConfig
         assert repro.run_pipeline is run_pipeline
         from repro.kernels import get_backend

@@ -4,6 +4,7 @@ micro-batching and the HTTP front end."""
 import json
 import os
 import threading
+import time
 import urllib.error
 import urllib.request
 
@@ -19,8 +20,10 @@ from repro.serving import (
     ArtifactIntegrityError,
     BatchSettings,
     CompiledModel,
+    DeadlineExceededError,
     MicroBatcher,
     ModelRegistry,
+    QueueFullError,
     ServingMetrics,
     create_server,
     load_artifact,
@@ -442,3 +445,182 @@ class TestServer:
         assert "serving_queue_depth 0" in body
         assert 'serving_model_samples{model="digits@v1"} 2' in body
         assert "serving_latency_seconds_count 1" in body
+
+
+# ----------------------------------------------------------------------
+# overload hardening: admission control, deadlines, worker isolation
+# ----------------------------------------------------------------------
+class _GatedModel:
+    """Forward pass that blocks until released — a stand-in for a slow
+    model, used to hold the batcher worker busy deterministically."""
+
+    def __init__(self, inner):
+        self.inner = inner
+        self.started = threading.Event()
+        self.gate = threading.Event()
+
+    def forward(self, x):
+        self.started.set()
+        assert self.gate.wait(timeout=30.0)
+        return self.inner.forward(x)
+
+
+class TestOverloadHardening:
+    def test_settings_validated(self):
+        with pytest.raises(ValueError, match="max_queue_depth"):
+            BatchSettings(max_queue_depth=-1)
+        with pytest.raises(ValueError, match="deadline_s"):
+            BatchSettings(deadline_s=0.0)
+
+    def test_submit_sheds_when_queue_full(self, exported):
+        _, path = exported
+        model = _GatedModel(CompiledModel.load(path))
+        metrics = ServingMetrics()
+        x = sample_batch(1)
+        with MicroBatcher(lambda key: model,
+                          BatchSettings(max_latency_ms=0.0,
+                                        max_queue_depth=2),
+                          metrics=metrics) as batcher:
+            held = batcher.submit("digits", x)      # occupies the worker
+            assert model.started.wait(timeout=10.0)
+            queued = [batcher.submit("digits", x) for _ in range(2)]
+            assert batcher.overloaded()
+            with pytest.raises(QueueFullError, match="depth bound"):
+                batcher.submit("digits", x)
+            assert metrics.snapshot()["shed_total"] == 1
+            model.gate.set()
+            for future in [held, *queued]:
+                assert future.result(timeout=10.0).shape == (1, 10)
+            assert not batcher.overloaded()
+
+    def test_deadline_expired_request_dropped(self, exported):
+        _, path = exported
+        model = _GatedModel(CompiledModel.load(path))
+        metrics = ServingMetrics()
+        x = sample_batch(1)
+        with MicroBatcher(lambda key: model,
+                          BatchSettings(max_latency_ms=0.0,
+                                        deadline_s=0.05),
+                          metrics=metrics) as batcher:
+            held = batcher.submit("digits", x)      # occupies the worker
+            assert model.started.wait(timeout=10.0)
+            late = batcher.submit("digits", x)      # queues behind it
+            time.sleep(0.2)                         # ...past its deadline
+            model.gate.set()
+            assert held.result(timeout=10.0).shape == (1, 10)
+            with pytest.raises(DeadlineExceededError, match="deadline"):
+                late.result(timeout=10.0)
+        assert metrics.snapshot()["deadline_expired_total"] == 1
+
+    def test_worker_survives_flush_machinery_error(self, exported):
+        quantized, path = exported
+        compiled = CompiledModel.load(path)
+
+        class HostileMetrics(ServingMetrics):
+            raised = False
+
+            def record_batch(self, size):
+                if not HostileMetrics.raised:
+                    HostileMetrics.raised = True
+                    raise RuntimeError("metrics backend down")
+                super().record_batch(size)
+
+        x = sample_batch(2)
+        with MicroBatcher(lambda key: compiled,
+                          BatchSettings(max_latency_ms=0.0),
+                          metrics=HostileMetrics()) as batcher:
+            poisoned = batcher.submit("digits", x)
+            with pytest.raises(RuntimeError, match="metrics backend"):
+                poisoned.result(timeout=10.0)
+            # the worker thread absorbed the error and still serves
+            scores = batcher.predict("digits", x, timeout=10.0)
+        assert np.array_equal(scores, quantized.forward(x))
+
+    def test_close_resolves_inflight_requests(self, exported):
+        quantized, path = exported
+        compiled = CompiledModel.load(path)
+
+        class Slow:
+            def forward(self, x):
+                time.sleep(0.02)
+                return compiled.forward(x)
+
+        x = sample_batch(2)
+        batcher = MicroBatcher(lambda key: Slow(),
+                               BatchSettings(max_latency_ms=0.0))
+        futures = [batcher.submit("digits", x) for _ in range(6)]
+        batcher.close(timeout=30.0)     # drains, never abandons a future
+        for future in futures:
+            assert np.array_equal(future.result(timeout=1.0),
+                                  quantized.forward(x))
+
+
+@pytest.fixture
+def overload_server(exported):
+    """A running server with a depth-1 queue and a gate-blocked model."""
+    _, path = exported
+    registry = ModelRegistry()
+    registry.register(path, name="digits")
+    server = create_server(registry,
+                           settings=BatchSettings(max_latency_ms=0.0,
+                                                  max_queue_depth=1))
+    model = _GatedModel(CompiledModel.load(path))
+    server.batcher._resolve = lambda key: model
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    host, port = server.server_address[:2]
+    yield f"http://{host}:{port}", server, model
+    model.gate.set()
+    server.shutdown()
+    thread.join(timeout=5.0)
+
+
+class TestServerHardening:
+    def test_non_dict_json_body_is_400_not_500(self, running_server):
+        base, _ = running_server
+        for payload in (b"[1, 2, 3]", b'"predict"'):
+            request = urllib.request.Request(
+                f"{base}/predict", data=payload,
+                headers={"Content-Type": "application/json"})
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                urllib.request.urlopen(request, timeout=10.0)
+            assert excinfo.value.code == 400
+            body = json.loads(excinfo.value.read())
+            assert "JSON object" in body["error"]
+
+    def test_healthz_ready_when_idle(self, running_server):
+        base, _ = running_server
+        assert _get(f"{base}/healthz") == {"status": "ready"}
+
+    def test_overload_sheds_503_and_healthz_flips(self, overload_server):
+        base, server, model = overload_server
+        x = sample_batch(1)
+        held = server.batcher.submit(("digits", 1), x)
+        assert model.started.wait(timeout=10.0)
+        queued = server.batcher.submit(("digits", 1), x)
+        assert server.batcher.overloaded()
+
+        # predict sheds with 503 + Retry-After while the queue is full
+        request = urllib.request.Request(
+            f"{base}/predict",
+            data=json.dumps({"model": "digits",
+                             "inputs": x.tolist()}).encode(),
+            headers={"Content-Type": "application/json"})
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request, timeout=10.0)
+        assert excinfo.value.code == 503
+        assert excinfo.value.headers["Retry-After"] == "1"
+        assert "depth bound" in json.loads(excinfo.value.read())["error"]
+
+        # the readiness probe flips not-ready while shedding ...
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(f"{base}/healthz", timeout=10.0)
+        assert excinfo.value.code == 503
+        assert json.loads(excinfo.value.read())["status"] == "overloaded"
+
+        # ... and recovers once the queue drains
+        model.gate.set()
+        for future in (held, queued):
+            future.result(timeout=10.0)
+        assert _get(f"{base}/healthz") == {"status": "ready"}
+        assert _get(f"{base}/stats")["shed_total"] == 1
